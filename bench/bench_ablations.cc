@@ -1,0 +1,96 @@
+// E12: ablations over FreeFlow's design choices called out in DESIGN.md:
+//   (1) zero-copy vs copy relay at the agent (paper Fig. 6's key trick),
+//   (2) agent CQ wakeup latency (polling aggressiveness),
+//   (3) shm lane ring size,
+//   (4) RDMA MTU,
+//   (5) kernel-TCP in-flight window.
+#include "bench_common.h"
+
+#include "rdma/device.h"
+
+using namespace freeflow;
+using namespace freeflow::bench;
+using namespace freeflow::workloads;
+
+int main() {
+  constexpr SimDuration k_window = 40 * k_millisecond;
+  constexpr std::size_t k_msg = 1 << 20;
+
+  banner("Ablation 1: zero-copy vs copy relay at the agent",
+         "design choice behind Fig. 6 (shm block registered as MR)");
+  std::printf("%-14s %12s %12s\n", "relay mode", "throughput", "host CPU");
+  for (bool zero_copy : {true, false}) {
+    agent::AgentConfig cfg;
+    cfg.zero_copy = zero_copy;
+    FreeFlowRig rig(true, sim::CostModel{}, fabric::NicCapabilities{}, cfg);
+    auto r = drive_freeflow_stream(rig.env.cluster, rig.net_a, rig.net_b, rig.b->ip(),
+                                   9000, k_msg, k_window);
+    std::printf("%-14s %8.1f Gb/s %9.0f %%\n", zero_copy ? "zero-copy" : "copy",
+                r.goodput_gbps, r.host_cpu_cores * 100);
+  }
+
+  banner("Ablation 2: agent wakeup latency (CQ notification)",
+         "polling vs blocking trade at the agent");
+  std::printf("%-14s %14s\n", "wakeup", "64B RTT");
+  for (SimDuration wakeup : {100L, 500L, 2000L, 10000L}) {
+    sim::CostModel m;
+    m.agent_wakeup_ns = wakeup;
+    FreeFlowRig rig(true, m);
+    auto rtt = freeflow_rtt(rig.env.cluster, rig.net_a, rig.net_b, rig.b->ip(), 9000,
+                            64, 31);
+    std::printf("%10lld ns %14s\n", static_cast<long long>(wakeup),
+                format_ns(static_cast<double>(rtt)).c_str());
+  }
+
+  banner("Ablation 3: shm lane ring size", "container<->container ring capacity");
+  std::printf("%-14s %12s\n", "ring", "throughput");
+  for (std::size_t ring : {std::size_t{256} * 1024, std::size_t{1} << 20,
+                           std::size_t{4} << 20, std::size_t{16} << 20}) {
+    agent::AgentConfig cfg;
+    cfg.lane_ring_bytes = ring;
+    FreeFlowRig rig(false, sim::CostModel{}, fabric::NicCapabilities{}, cfg);
+    const std::size_t msg = std::min<std::size_t>(k_msg, ring / 4);
+    auto r = drive_freeflow_stream(rig.env.cluster, rig.net_a, rig.net_b, rig.b->ip(),
+                                   9000, msg, k_window);
+    std::printf("%10zu KiB %8.1f Gb/s\n", ring / 1024, r.goodput_gbps);
+  }
+
+  banner("Ablation 3b: relay fragment size", "agent record granularity");
+  std::printf("%-14s %12s\n", "fragment", "throughput");
+  for (std::size_t frag : {std::size_t{64} * 1024, std::size_t{256} * 1024,
+                           std::size_t{1} << 20}) {
+    agent::AgentConfig cfg;
+    cfg.fragment_bytes = frag;
+    FreeFlowRig rig(true, sim::CostModel{}, fabric::NicCapabilities{}, cfg);
+    auto r = drive_freeflow_stream(rig.env.cluster, rig.net_a, rig.net_b, rig.b->ip(),
+                                   9000, k_msg, k_window);
+    std::printf("%10zu KiB %8.1f Gb/s\n", frag / 1024, r.goodput_gbps);
+  }
+
+  banner("Ablation 4: RDMA MTU", "NIC chunking granularity vs line rate");
+  std::printf("%-14s %12s %12s\n", "mtu", "throughput", "nic proc");
+  for (std::uint32_t mtu : {1024u, 2048u, 4096u, 8192u}) {
+    sim::CostModel m;
+    m.rdma_mtu_bytes = mtu;
+    fabric::Cluster cluster(m);
+    cluster.add_hosts(2);
+    rdma::RdmaDevice a(cluster.host(0)), b(cluster.host(1));
+    auto r = drive_rdma_stream(cluster, a, b, 1, k_msg, k_window);
+    std::printf("%10u B  %8.1f Gb/s %9.0f %%\n", mtu, r.goodput_gbps,
+                r.nic_proc_util * 100);
+  }
+
+  banner("Ablation 5: kernel TCP in-flight window (GSO chunks)",
+         "go-back-N window vs throughput (inter-host host mode)");
+  std::printf("%-14s %12s\n", "window", "throughput");
+  for (int window : {1, 2, 4, 8, 16}) {
+    sim::CostModel m;
+    m.tcp_window_chunks = window;
+    TcpRig rig(TcpRig::Mode::host, 2, 1, m);
+    auto r = drive_tcp_stream(rig.cluster, *rig.net, rig.endpoints, k_msg, k_window);
+    std::printf("%8d ch  %8.1f Gb/s\n", window, r.goodput_gbps);
+  }
+
+  footer();
+  return 0;
+}

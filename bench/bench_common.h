@@ -1,0 +1,155 @@
+// Shared scaffolding for the FreeFlow benchmark harness. Each binary in
+// bench/ regenerates one table/figure from the paper (see DESIGN.md's
+// experiment index); these helpers build the standard rigs and print
+// aligned rows.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/freeflow.h"
+#include "fabric/cluster.h"
+#include "orchestrator/cluster_orchestrator.h"
+#include "orchestrator/network_orchestrator.h"
+#include "overlay/overlay.h"
+#include "rdma/device.h"
+#include "tcpstack/modes.h"
+#include "workloads/drivers.h"
+
+namespace freeflow::bench {
+
+inline void banner(const char* title, const char* paper_ref) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("paper artifact: %s\n", paper_ref);
+  std::printf("%s\n", std::string(72, '-').c_str());
+}
+
+inline void footer() { std::printf("%s\n", std::string(72, '-').c_str()); }
+
+/// Full-stack environment mirroring tests/sim_env.h for the benches.
+struct BenchEnv {
+  explicit BenchEnv(int hosts, sim::CostModel model = {},
+                    fabric::NicCapabilities caps = {})
+      : cluster(model),
+        overlay_net(cluster, tcp::Subnet{tcp::Ipv4Addr(10, 244, 0, 0), 16}) {
+    cluster.add_hosts(hosts, "host", caps);
+    for (int h = 0; h < hosts; ++h) {
+      overlay_net.attach_host(static_cast<fabric::HostId>(h));
+    }
+    cluster_orch = std::make_unique<orch::ClusterOrchestrator>(cluster, overlay_net);
+    net_orch = std::make_unique<orch::NetworkOrchestrator>(*cluster_orch);
+  }
+
+  orch::ContainerPtr deploy(const std::string& name, orch::TenantId tenant,
+                            fabric::HostId host) {
+    orch::ContainerSpec spec;
+    spec.name = name;
+    spec.tenant = tenant;
+    spec.pinned_host = host;
+    auto c = cluster_orch->deploy(std::move(spec));
+    FF_CHECK(c.is_ok());
+    return c.value();
+  }
+
+  core::FreeFlow& freeflow(agent::AgentConfig config = {}) {
+    if (ff == nullptr) ff = std::make_unique<core::FreeFlow>(*net_orch, config);
+    return *ff;
+  }
+
+  sim::EventLoop& loop() { return cluster.loop(); }
+
+  fabric::Cluster cluster;
+  overlay::OverlayNetwork overlay_net;
+  std::unique_ptr<orch::ClusterOrchestrator> cluster_orch;
+  std::unique_ptr<orch::NetworkOrchestrator> net_orch;
+  std::unique_ptr<core::FreeFlow> ff;
+};
+
+/// A kernel-TCP rig for one networking mode on a dedicated cluster, with
+/// `pairs` distinct container IP pairs bound on the chosen hosts.
+struct TcpRig {
+  enum class Mode { host, bridge };
+
+  TcpRig(Mode mode, int hosts, int pairs, sim::CostModel model = {})
+      : cluster(model) {
+    cluster.add_hosts(hosts);
+    for (int h = 0; h < hosts; ++h) {
+      tcp::WireHop::install_rx(cluster.host(static_cast<fabric::HostId>(h)));
+    }
+    if (mode == Mode::host) {
+      builder = std::make_unique<tcp::HostModeBuilder>(cluster.cost_model());
+    } else {
+      auto b = std::make_unique<tcp::BridgeModeBuilder>(cluster.cost_model());
+      bridge_builder = b.get();
+      builder_bridge = std::move(b);
+    }
+    net = std::make_unique<tcp::TcpNetwork>(cluster.loop(), cluster.cost_model(),
+                                            mode == Mode::host
+                                                ? static_cast<tcp::PathBuilder&>(*builder)
+                                                : *builder_bridge);
+    for (int p = 0; p < pairs; ++p) {
+      const tcp::Ipv4Addr src(172, 17, 1, static_cast<std::uint8_t>(2 * p + 2));
+      const tcp::Ipv4Addr dst(172, 17, 2, static_cast<std::uint8_t>(2 * p + 3));
+      auto& src_host = cluster.host(0);
+      auto& dst_host = cluster.host(static_cast<fabric::HostId>(hosts > 1 ? 1 : 0));
+      if (mode == Mode::host) {
+        FF_CHECK(builder->addresses().add(src, src_host, nullptr).is_ok());
+        FF_CHECK(builder->addresses().add(dst, dst_host, nullptr).is_ok());
+      } else {
+        FF_CHECK(bridge_builder->addresses().add(src, src_host, nullptr).is_ok());
+        FF_CHECK(bridge_builder->addresses().add(dst, dst_host, nullptr).is_ok());
+      }
+      endpoints.push_back({{src, 0}, {dst, 9000}});
+    }
+  }
+
+  fabric::Cluster cluster;
+  std::unique_ptr<tcp::HostModeBuilder> builder;
+  std::unique_ptr<tcp::BridgeModeBuilder> builder_bridge;
+  tcp::BridgeModeBuilder* bridge_builder = nullptr;
+  std::unique_ptr<tcp::TcpNetwork> net;
+  std::vector<std::pair<tcp::Endpoint, tcp::Endpoint>> endpoints;
+};
+
+/// Overlay rig: containers on hosts with converged routes.
+struct OverlayRig {
+  OverlayRig(int hosts, int pairs, bool inter_host, sim::CostModel model = {})
+      : env(hosts, model) {
+    for (int p = 0; p < pairs; ++p) {
+      auto a = env.overlay_net.add_container(0, nullptr);
+      auto b = env.overlay_net.add_container(
+          inter_host ? static_cast<fabric::HostId>(1) : 0, nullptr);
+      FF_CHECK(a.is_ok() && b.is_ok());
+      endpoints.push_back({{*a, 0}, {*b, 9000}});
+    }
+    env.loop().run();  // converge routes
+    net = std::make_unique<tcp::TcpNetwork>(env.loop(), env.cluster.cost_model(),
+                                            env.overlay_net.path_builder());
+  }
+
+  BenchEnv env;
+  std::unique_ptr<tcp::TcpNetwork> net;
+  std::vector<std::pair<tcp::Endpoint, tcp::Endpoint>> endpoints;
+};
+
+/// A FreeFlow container pair rig (a on host0, b on host0 or host1).
+struct FreeFlowRig {
+  FreeFlowRig(bool inter_host, sim::CostModel model = {},
+              fabric::NicCapabilities caps = {}, agent::AgentConfig config = {})
+      : env(2, model, caps) {
+    a = env.deploy("a", 1, 0);
+    b = env.deploy("b", 1, inter_host ? 1 : 0);
+    env.freeflow(config);
+    net_a = env.ff->attach(a->id()).value();
+    net_b = env.ff->attach(b->id()).value();
+  }
+
+  BenchEnv env;
+  orch::ContainerPtr a, b;
+  core::ContainerNetPtr net_a, net_b;
+};
+
+}  // namespace freeflow::bench

@@ -1,0 +1,53 @@
+// E9 / Table 1 (commented in the paper source): the network orchestrator's
+// suggested transport for each deployment case of Fig. 2 under each
+// constraint row (no constraint / no trust / no RDMA NIC).
+#include "bench_common.h"
+
+using namespace freeflow;
+using namespace freeflow::bench;
+
+namespace {
+
+std::string run_case(bool same_host, bool vms, bool trusted, bool rdma_nic) {
+  fabric::NicCapabilities caps;
+  caps.rdma = rdma_nic;
+  caps.dpdk = false;
+  BenchEnv env(2, sim::CostModel{}, caps);
+  if (vms) {
+    env.cluster.host(0).set_physical_machine(10);
+    env.cluster.host(1).set_physical_machine(11);
+  }
+  auto a = env.deploy("a", 1, 0);
+  auto b = env.deploy("b", trusted ? 1 : 2, same_host ? 0 : 1);
+  auto d = env.net_orch->decide(a->id(), b->id());
+  FF_CHECK(d.is_ok());
+  return std::string(orch::transport_name(d->transport));
+}
+
+void print_row(const char* constraint, bool trusted, bool rdma_nic) {
+  const std::string a = run_case(true, false, trusted, rdma_nic);
+  const std::string b = run_case(false, false, trusted, rdma_nic);
+  const std::string c = run_case(true, true, trusted, rdma_nic);
+  const std::string d = run_case(false, true, trusted, rdma_nic);
+  std::printf("%-14s | %-12s %-12s %-12s %-12s\n", constraint, a.c_str(), b.c_str(),
+              c.c_str(), d.c_str());
+}
+
+}  // namespace
+
+int main() {
+  banner("Transport decision matrix",
+         "Table 1 (commented in paper source): best transport per case");
+
+  std::printf("%-14s | %-12s %-12s %-12s %-12s\n", "constraint", "(a) same BM",
+              "(b) diff BM", "(c) same VM", "(d) diff VM");
+  print_row("none", /*trusted=*/true, /*rdma_nic=*/true);
+  print_row("w/o trust", /*trusted=*/false, /*rdma_nic=*/true);
+  print_row("w/o RDMA NIC", /*trusted=*/true, /*rdma_nic=*/false);
+
+  footer();
+  std::printf("paper Table 1:  none       -> SharedMem / RDMA / SharedMem / RDMA\n");
+  std::printf("                w/o trust  -> TCP/IP everywhere (overlay)\n");
+  std::printf("                w/o RDMA   -> SharedMem / TCP/IP / SharedMem / TCP/IP\n");
+  return 0;
+}

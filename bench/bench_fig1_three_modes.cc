@@ -1,0 +1,71 @@
+// E1 / Figure 1 ("intro_exist2"): throughput and latency of the two
+// container networking modes (host, overlay) against shared-memory IPC —
+// the paper's opening demonstration of the portability/performance tussle.
+#include "bench_common.h"
+
+using namespace freeflow;
+using namespace freeflow::bench;
+using namespace freeflow::workloads;
+
+int main() {
+  banner("Fig. 1: host mode vs overlay mode vs shared-memory IPC",
+         "Figure 1 (intro_exist2.pdf), one host, 2 containers");
+
+  constexpr SimDuration k_window = 50 * k_millisecond;
+  constexpr std::size_t k_msg = 1 << 20;
+
+  std::printf("%-16s %14s %16s %16s\n", "mode", "throughput", "64B RTT",
+              "1MiB transfer");
+
+  // Shared-memory IPC (specially-set-up containers, least isolation).
+  {
+    fabric::Cluster cluster;
+    cluster.add_hosts(1);
+    auto report = drive_shm_stream(cluster, 0, 1, k_msg, k_window);
+    const SimDuration rtt = shm_rtt(cluster, 0, 64, 31);
+    const SimDuration big = shm_rtt(cluster, 0, 1 << 20, 11);
+    std::printf("%-16s %10.1f Gb/s %16s %16s\n", "shared-memory", report.goodput_gbps,
+                format_ns(static_cast<double>(rtt)).c_str(),
+                format_ns(static_cast<double>(big) / 2).c_str());
+  }
+
+  // Host mode: container binds the host IP (ports shared).
+  {
+    TcpRig rig(TcpRig::Mode::host, 1, 1);
+    auto report = drive_tcp_stream(rig.cluster, *rig.net, rig.endpoints, k_msg, k_window);
+    TcpRig rtt_rig(TcpRig::Mode::host, 1, 1);
+    const SimDuration rtt = tcp_rtt(rtt_rig.cluster, *rtt_rig.net,
+                                    rtt_rig.endpoints[0].first,
+                                    rtt_rig.endpoints[0].second, 64, 31);
+    TcpRig big_rig(TcpRig::Mode::host, 1, 1);
+    const SimDuration big = tcp_rtt(big_rig.cluster, *big_rig.net,
+                                    big_rig.endpoints[0].first,
+                                    big_rig.endpoints[0].second, 1 << 20, 11);
+    std::printf("%-16s %10.1f Gb/s %16s %16s\n", "host mode", report.goodput_gbps,
+                format_ns(static_cast<double>(rtt)).c_str(),
+                format_ns(static_cast<double>(big) / 2).c_str());
+  }
+
+  // Overlay mode: full portability, double hairpin through the router.
+  {
+    OverlayRig rig(1, 1, /*inter_host=*/false);
+    auto report =
+        drive_tcp_stream(rig.env.cluster, *rig.net, rig.endpoints, k_msg, k_window);
+    OverlayRig rtt_rig(1, 1, false);
+    const SimDuration rtt =
+        tcp_rtt(rtt_rig.env.cluster, *rtt_rig.net, rtt_rig.endpoints[0].first,
+                {rtt_rig.endpoints[0].second.ip, 9100}, 64, 31);
+    OverlayRig big_rig(1, 1, false);
+    const SimDuration big =
+        tcp_rtt(big_rig.env.cluster, *big_rig.net, big_rig.endpoints[0].first,
+                {big_rig.endpoints[0].second.ip, 9200}, 1 << 20, 11);
+    std::printf("%-16s %10.1f Gb/s %16s %16s\n", "overlay mode", report.goodput_gbps,
+                format_ns(static_cast<double>(rtt)).c_str(),
+                format_ns(static_cast<double>(big) / 2).c_str());
+  }
+
+  footer();
+  std::printf("paper shape: both TCP modes are far below shm IPC, and overlay\n"
+              "is worse than host mode (the hairpin happens twice).\n");
+  return 0;
+}

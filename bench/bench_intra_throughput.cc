@@ -1,0 +1,62 @@
+// E2 / Fig. "eval_baremetal_thr" (§2.3.1): intra-host throughput of a
+// container pair over every data plane. Paper claims: bridge TCP ≈27 Gb/s,
+// RDMA ≈40 Gb/s (NIC line rate, even intra-host via hairpin), shared memory
+// near memory bandwidth. FreeFlow rows added to show it matches the best.
+#include "bench_common.h"
+
+#include "rdma/device.h"
+
+using namespace freeflow;
+using namespace freeflow::bench;
+using namespace freeflow::workloads;
+
+int main() {
+  banner("Intra-host throughput, 1 container pair, 1 MiB messages",
+         "Fig. eval_baremetal_thr (paper: 27 / 40 / ~memBW Gb/s)");
+
+  constexpr SimDuration k_window = 50 * k_millisecond;
+  constexpr std::size_t k_msg = 1 << 20;
+
+  std::printf("%-22s %12s\n", "transport", "throughput");
+
+  {
+    OverlayRig rig(1, 1, false);
+    auto r = drive_tcp_stream(rig.env.cluster, *rig.net, rig.endpoints, k_msg, k_window);
+    std::printf("%-22s %8.1f Gb/s\n", "tcp (overlay mode)", r.goodput_gbps);
+  }
+  {
+    TcpRig rig(TcpRig::Mode::bridge, 1, 1);
+    auto r = drive_tcp_stream(rig.cluster, *rig.net, rig.endpoints, k_msg, k_window);
+    std::printf("%-22s %8.1f Gb/s\n", "tcp (bridge mode)", r.goodput_gbps);
+  }
+  {
+    TcpRig rig(TcpRig::Mode::host, 1, 1);
+    auto r = drive_tcp_stream(rig.cluster, *rig.net, rig.endpoints, k_msg, k_window);
+    std::printf("%-22s %8.1f Gb/s\n", "tcp (host mode)", r.goodput_gbps);
+  }
+  {
+    fabric::Cluster cluster;
+    cluster.add_hosts(1);
+    rdma::RdmaDevice dev(cluster.host(0));
+    auto r = drive_rdma_stream(cluster, dev, dev, 1, k_msg, k_window);
+    std::printf("%-22s %8.1f Gb/s   (NIC hairpin: capped at line rate)\n",
+                "rdma (intra-host)", r.goodput_gbps);
+  }
+  {
+    fabric::Cluster cluster;
+    cluster.add_hosts(1);
+    auto r = drive_shm_stream(cluster, 0, 1, k_msg, k_window);
+    std::printf("%-22s %8.1f Gb/s   (near memory bandwidth)\n", "shared memory",
+                r.goodput_gbps);
+  }
+  {
+    FreeFlowRig rig(/*inter_host=*/false);
+    auto r = drive_freeflow_stream(rig.env.cluster, rig.net_a, rig.net_b, rig.b->ip(),
+                                   9000, k_msg, k_window);
+    std::printf("%-22s %8.1f Gb/s   (transparently picked shm)\n",
+                "FreeFlow (intra-host)", r.goodput_gbps);
+  }
+
+  footer();
+  return 0;
+}

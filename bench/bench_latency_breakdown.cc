@@ -1,0 +1,89 @@
+// E7 / Fig. 3 (planned, commented source): stacked latency components per
+// transport. The stages come from the calibrated cost model (they are what
+// the simulation actually charges); the measured end-to-end column is the
+// live ping-pong median, confirming the stack adds up.
+#include "bench_common.h"
+
+#include "rdma/device.h"
+
+using namespace freeflow;
+using namespace freeflow::bench;
+using namespace freeflow::workloads;
+
+namespace {
+void stack_row(const char* stage, double ns) {
+  if (ns <= 0) return;
+  std::printf("    %-28s %10s\n", stage, format_ns(ns).c_str());
+}
+}  // namespace
+
+int main() {
+  banner("Latency breakdown (64 B, one way), per transport",
+         "Fig. 3 plan: 'stacked bar chart of latency components'");
+
+  const sim::CostModel m;
+  const double wire64 = static_cast<double>(transmission_time(64 + 78, m.nic_line_gbps * 1e9)) +
+                        static_cast<double>(2 * m.link_prop_ns + m.switch_fwd_ns);
+
+  std::printf("shared memory:\n");
+  stack_row("ring enqueue (tx CPU)", m.shm_post_ns + m.shm_copy_ns_per_byte * 64);
+  stack_row("cross-core wakeup", static_cast<double>(m.shm_wakeup_ns));
+  stack_row("ring dequeue (rx CPU)", m.shm_poll_ns + m.shm_copy_ns_per_byte * 64);
+
+  std::printf("rdma (inter-host):\n");
+  stack_row("post_send doorbell", m.rdma_post_ns);
+  stack_row("NIC processor (tx)", m.nic_pkt_cost(64));
+  stack_row("wire + switch", wire64);
+  stack_row("NIC processor (rx)", m.nic_pkt_cost(64));
+  stack_row("completion poll", m.rdma_poll_ns);
+
+  std::printf("tcp host mode (inter-host):\n");
+  stack_row("syscall+protocol (tx)", m.tcp_tx_cost(64));
+  stack_row("wire + switch", wire64);
+  stack_row("softirq+protocol (rx)", m.tcp_rx_cost(64));
+  stack_row("scheduler wakeup", static_cast<double>(m.tcp_rx_wakeup_ns));
+
+  std::printf("tcp bridge mode (intra-host): adds per side:\n");
+  stack_row("veth + bridge", m.bridge_cost(64));
+
+  std::printf("overlay mode: additionally per router crossed:\n");
+  stack_row("router copies + forward", m.router_cost(64));
+  stack_row("vxlan encap/decap", m.vxlan_ns_per_chunk);
+
+  footer();
+  std::printf("measured one-way medians (validate the stacks):\n");
+  {
+    fabric::Cluster c;
+    c.add_hosts(1);
+    std::printf("  %-24s %10s\n", "shared memory",
+                format_ns(static_cast<double>(shm_rtt(c, 0, 64, 31)) / 2).c_str());
+  }
+  {
+    fabric::Cluster c;
+    c.add_hosts(2);
+    rdma::RdmaDevice a(c.host(0)), b(c.host(1));
+    std::printf("  %-24s %10s\n", "rdma inter-host",
+                format_ns(static_cast<double>(rdma_rtt(c, a, b, 64, 31)) / 2).c_str());
+  }
+  {
+    TcpRig rig(TcpRig::Mode::host, 2, 1);
+    std::printf("  %-24s %10s\n", "tcp host inter-host",
+                format_ns(static_cast<double>(tcp_rtt(rig.cluster, *rig.net,
+                                                      rig.endpoints[0].first,
+                                                      rig.endpoints[0].second, 64, 31)) /
+                          2)
+                    .c_str());
+  }
+  {
+    OverlayRig rig(2, 1, true);
+    std::printf("  %-24s %10s\n", "tcp overlay inter-host",
+                format_ns(static_cast<double>(tcp_rtt(rig.env.cluster, *rig.net,
+                                                      rig.endpoints[0].first,
+                                                      {rig.endpoints[0].second.ip, 9100},
+                                                      64, 31)) /
+                          2)
+                    .c_str());
+  }
+  footer();
+  return 0;
+}

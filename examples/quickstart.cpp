@@ -1,0 +1,89 @@
+// FreeFlow quickstart: deploy two containers with the cluster orchestrator,
+// attach the FreeFlow library, and exchange messages over a socket — the
+// library transparently picks shared memory because the orchestrator
+// placed both containers on the same host.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "common/histogram.h"
+#include "core/freeflow.h"
+#include "orchestrator/cluster_orchestrator.h"
+
+using namespace freeflow;
+
+int main() {
+  // 1. The simulated datacenter: two 4-core hosts with 40 Gb/s RDMA NICs
+  //    behind one ToR switch, plus the overlay control plane FreeFlow
+  //    inherits (IPAM + per-host software routers).
+  fabric::Cluster cluster;
+  cluster.add_hosts(2);
+  overlay::OverlayNetwork overlay(cluster, {tcp::Ipv4Addr(10, 244, 0, 0), 16});
+  overlay.attach_host(0);
+  overlay.attach_host(1);
+
+  // 2. The cluster orchestrator (Mesos/Kubernetes stand-in) and FreeFlow's
+  //    network orchestrator on top of it.
+  orch::ClusterOrchestrator cluster_orch(cluster, overlay);
+  orch::NetworkOrchestrator net_orch(cluster_orch);
+  core::FreeFlow freeflow(net_orch);
+
+  // 3. Deploy two containers of the same tenant onto host 0.
+  orch::ContainerSpec spec;
+  spec.name = "frontend";
+  spec.tenant = 42;
+  spec.pinned_host = 0u;
+  auto frontend = cluster_orch.deploy(spec).value();
+  spec.name = "backend";
+  auto backend = cluster_orch.deploy(spec).value();
+  std::printf("deployed %s (%s) and %s (%s)\n", frontend->name().c_str(),
+              frontend->ip().to_string().c_str(), backend->name().c_str(),
+              backend->ip().to_string().c_str());
+
+  // 4. Attach the network library inside each container.
+  auto frontend_net = freeflow.attach(frontend->id()).value();
+  auto backend_net = freeflow.attach(backend->id()).value();
+
+  // 5. Standard socket shapes: the backend listens, the frontend connects
+  //    by overlay IP. Neither side knows (or cares) where the other runs.
+  core::FlowSocketPtr server;
+  FF_CHECK(backend_net->sock_listen(8080, [&](core::FlowSocketPtr s) {
+    server = s;  // accepted sockets are app-owned: keep it alive
+    s->set_on_data([s](Buffer&& request) {
+      std::printf("[backend]  got %zu bytes: \"%s\" -> replying\n", request.size(),
+                  request.to_string().c_str());
+      FF_CHECK(s->send(Buffer::from_string("hello from the backend")).is_ok());
+    });
+  }).is_ok());
+
+  core::FlowSocketPtr client;
+  frontend_net->sock_connect(backend->ip(), 8080, [&](Result<core::FlowSocketPtr> s) {
+    FF_CHECK(s.is_ok());
+    client = *s;
+    std::printf("[frontend] connected via transport: %s\n",
+                orch::transport_name(client->transport()).data());
+    client->set_on_data([](Buffer&& reply) {
+      std::printf("[frontend] reply: \"%s\"\n", reply.to_string().c_str());
+    });
+    FF_CHECK(client->send(Buffer::from_string("ping")).is_ok());
+  });
+
+  // 6. Run the virtual world.
+  cluster.loop().run_for(1 * k_second);
+
+  for (const auto& conn : frontend_net->connections()) {
+    std::printf("[introspect] %s -> container %u via %s: %llu msgs out, %llu in\n",
+                frontend->name().c_str(), conn.peer,
+                orch::transport_name(conn.transport).data(),
+                static_cast<unsigned long long>(conn.messages_sent),
+                static_cast<unsigned long long>(conn.messages_received));
+  }
+
+  std::printf("\nThe orchestrator chose '%s' because both containers share a\n"
+              "host; redeploy 'backend' on host 1 and the same code would run\n"
+              "over RDMA. Virtual time elapsed: %s.\n",
+              orch::transport_name(client->transport()).data(),
+              format_ns(static_cast<double>(cluster.loop().now())).c_str());
+  return 0;
+}

@@ -1,0 +1,463 @@
+#include "agent/agent.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "fabric/control.h"
+
+namespace freeflow::agent {
+
+namespace {
+constexpr std::uint32_t k_ctrl_bytes = 160;
+}
+
+// ---------------------------------------------------------------- AgentFabric
+
+AgentFabric::AgentFabric(orch::NetworkOrchestrator& orchestrator, AgentConfig config)
+    : orchestrator_(orchestrator),
+      config_(config),
+      underlay_builder_(cluster().cost_model()),
+      underlay_net_(cluster().loop(), cluster().cost_model(), underlay_builder_) {}
+
+fabric::Cluster& AgentFabric::cluster() noexcept {
+  return orchestrator_.cluster_orch().cluster();
+}
+
+sim::EventLoop& AgentFabric::loop() noexcept { return cluster().loop(); }
+
+Agent& AgentFabric::agent_on(fabric::HostId host) {
+  auto it = agents_.find(host);
+  if (it != agents_.end()) return *it->second;
+  fabric::Host& h = cluster().host(host);
+  const Status bound = underlay_builder_.addresses().add(agent_ip(host), h, nullptr);
+  FF_CHECK(bound.is_ok());
+  auto agent = std::make_unique<Agent>(*this, h);
+  Agent& ref = *agent;
+  agents_.emplace(host, std::move(agent));
+  return ref;
+}
+
+// ---------------------------------------------------------------------- Agent
+
+Agent::Agent(AgentFabric& fabric, fabric::Host& host)
+    : fabric_(fabric), host_(host), account_("agent@" + host.name()) {
+  fabric::install_control_rx(host_);
+  tcp::WireHop::install_rx(host_);
+
+  // TCP trunk service: peer agents connect here when NICs lack bypass.
+  const tcp::Endpoint ep{AgentFabric::agent_ip(host_.id()), fabric_.config().tcp_port};
+  const Status listening =
+      fabric_.underlay().listen(ep, [this](tcp::TcpConnection::Ptr conn) {
+        const fabric::HostId peer =
+            AgentFabric::host_of_agent_ip(conn->flow().remote.ip);
+        const TrunkKey key{peer, orch::Transport::tcp_host};
+        if (!trunks_.contains(key)) {
+          auto trunk = std::make_shared<TcpTrunk>(host_.loop());
+          trunk->set_on_record([this](Buffer&& r) { dispatch_record(std::move(r)); });
+          trunk->set_on_drained([this]() { notify_space(); });
+          trunk->attach(std::move(conn));
+          trunks_.emplace(key, std::move(trunk));
+        }
+      });
+  FF_CHECK(listening.is_ok());
+}
+
+void Agent::register_container(orch::ContainerId id, IncomingFn on_incoming) {
+  containers_[id] = std::move(on_incoming);
+}
+
+void Agent::unregister_container(orch::ContainerId id) { containers_.erase(id); }
+
+sim::UsageAccount* Agent::container_account(orch::ContainerId id) {
+  auto c = fabric_.orchestrator().cluster_orch().container(id);
+  return c == nullptr ? nullptr : &c->account();
+}
+
+std::shared_ptr<shm::ShmLane> Agent::make_lane(sim::UsageAccount* sender,
+                                               sim::UsageAccount* receiver) {
+  auto lane = std::make_shared<shm::ShmLane>(host_, fabric_.config().lane_ring_bytes);
+  lane->set_sender_account(sender);
+  lane->set_receiver_account(receiver);
+  return lane;
+}
+
+void Agent::establish(orch::ContainerId src, orch::ContainerId dst,
+                      orch::Transport transport, EstablishFn done) {
+  auto& norch = fabric_.orchestrator();
+  auto s = norch.cluster_orch().container(src);
+  auto d = norch.cluster_orch().container(dst);
+  if (s == nullptr || d == nullptr) {
+    done(not_found("unknown container in channel request"));
+    return;
+  }
+  // Enforcement point: isolation may only be traded among trusting
+  // containers, whatever the caller asked for.
+  if (!norch.trusted(*s, *d)) {
+    done(permission_denied("containers " + s->name() + " and " + d->name() +
+                           " do not trust each other"));
+    return;
+  }
+  if (transport == orch::Transport::tcp_overlay) {
+    done(invalid_argument("overlay traffic does not go through agents"));
+    return;
+  }
+  if (transport == orch::Transport::shm) {
+    if (d->host() != host_.id() || s->host() != host_.id()) {
+      done(failed_precondition("shm requires co-located containers"));
+      return;
+    }
+    establish_shm(src, dst, std::move(done));
+    return;
+  }
+  establish_remote(src, dst, d->host(), transport, std::move(done));
+}
+
+void Agent::establish_shm(orch::ContainerId src, orch::ContainerId dst,
+                          EstablishFn done) {
+  auto it = containers_.find(dst);
+  if (it == containers_.end()) {
+    done(unavailable("destination container not registered with agent"));
+    return;
+  }
+  // Model the POSIX shm segment: created under the source tenant, with the
+  // destination tenant explicitly allow-listed (the mechanical form of
+  // "isolation is traded only among trusting containers").
+  auto& norch2 = fabric_.orchestrator();
+  auto src_c = norch2.cluster_orch().container(src);
+  auto dst_c = norch2.cluster_orch().container(dst);
+  auto region = shm_registry_.create(src_c->tenant(),
+                                     2 * fabric_.config().lane_ring_bytes);
+  if (!region.is_ok()) {
+    done(region.status());
+    return;
+  }
+  (*region)->allow(dst_c->tenant());
+  auto attached = shm_registry_.attach((*region)->id(), dst_c->tenant());
+  FF_CHECK(attached.is_ok());
+
+  auto lane_ab = make_lane(container_account(src), container_account(dst));
+  auto lane_ba = make_lane(container_account(dst), container_account(src));
+  auto ep_a = std::make_shared<ShmChannelEndpoint>(dst, lane_ab, lane_ba);
+  auto ep_b = std::make_shared<ShmChannelEndpoint>(src, lane_ba, lane_ab);
+  ep_a->hold_region(*region);
+  ep_b->hold_region(*region);
+
+  // Local brokering costs one control round within the host.
+  host_.loop().schedule(2 * k_microsecond,
+                        [this, src, dst, ep_a, ep_b, done = std::move(done)]() {
+                          auto cit = containers_.find(dst);
+                          if (cit == containers_.end()) {
+                            done(unavailable("destination vanished during setup"));
+                            return;
+                          }
+                          cit->second(src, ep_b);
+                          done(ChannelPtr(ep_a));
+                        });
+}
+
+void Agent::establish_remote(orch::ContainerId src, orch::ContainerId dst,
+                             fabric::HostId dst_host, orch::Transport transport,
+                             EstablishFn done) {
+  Agent& peer = fabric_.agent_on(dst_host);  // ensure the peer agent runs
+  (void)peer;
+  with_trunk(dst_host, transport,
+             [this, src, dst, dst_host, transport,
+              done = std::move(done)](Result<Trunk*> trunk) mutable {
+    if (!trunk.is_ok()) {
+      done(trunk.status());
+      return;
+    }
+    const std::uint64_t id = fabric_.next_channel_id();
+    Agent* peer_agent = &fabric_.agent_on(dst_host);
+    const fabric::HostId self_host = host_.id();
+
+    fabric::send_control(
+        host_, dst_host, k_ctrl_bytes,
+        [this, peer_agent, src, dst, id, transport, self_host,
+         done = std::move(done)]() mutable {
+          peer_agent->accept_channel(
+              src, dst, id, transport, self_host,
+              [this, peer_agent, src, dst, id, transport, self_host,
+               done = std::move(done)](Status st) mutable {
+                fabric::send_control(
+                    peer_agent->host(), self_host, k_ctrl_bytes,
+                    [this, st, src, dst, id, transport,
+                     dst_host = peer_agent->host().id(),
+                     done = std::move(done)]() mutable {
+                      if (!st.is_ok()) {
+                        done(st);
+                        return;
+                      }
+                      auto to_agent = make_lane(container_account(src), &account_);
+                      auto from_agent = make_lane(&account_, container_account(src));
+                      auto ep = std::make_shared<RemoteChannelEndpoint>(
+                          *this, src, dst, dst_host, id, transport, to_agent,
+                          from_agent);
+                      endpoints_.emplace(id, ep);
+                      done(ChannelPtr(ep));
+                    });
+              });
+        });
+  });
+}
+
+void Agent::accept_channel(orch::ContainerId src, orch::ContainerId dst,
+                           std::uint64_t channel_id, orch::Transport transport,
+                           fabric::HostId src_host,
+                           std::function<void(Status)> reply) {
+  auto it = containers_.find(dst);
+  if (it == containers_.end()) {
+    reply(unavailable("destination container not registered with agent"));
+    return;
+  }
+  // For trunked transports the B-side trunk was created during trunk setup
+  // (rdma/dpdk) or at TCP accept; relay_outbound finds it by key.
+  auto to_agent = make_lane(container_account(dst), &account_);
+  auto from_agent = make_lane(&account_, container_account(dst));
+  auto ep = std::make_shared<RemoteChannelEndpoint>(*this, dst, src, src_host,
+                                                    channel_id, transport, to_agent,
+                                                    from_agent);
+  endpoints_.emplace(channel_id, ep);
+  it->second(src, ep);
+  reply(ok_status());
+}
+
+// ------------------------------------------------------------------- trunks
+
+void Agent::with_trunk(fabric::HostId peer, orch::Transport transport,
+                       std::function<void(Result<Trunk*>)> ready) {
+  const TrunkKey key{peer, transport};
+  if (auto it = trunks_.find(key); it != trunks_.end()) {
+    ready(it->second.get());
+    return;
+  }
+  auto& waiters = trunk_waiters_[key];
+  waiters.push_back(std::move(ready));
+  if (waiters.size() > 1) return;  // setup already in flight
+
+  auto finish = [this, key](Result<Trunk*> result) {
+    auto pending = std::move(trunk_waiters_[key]);
+    trunk_waiters_.erase(key);
+    for (auto& cb : pending) cb(result);
+  };
+  switch (transport) {
+    case orch::Transport::rdma:
+      setup_rdma_trunk(peer, finish);
+      break;
+    case orch::Transport::dpdk:
+      setup_dpdk_trunk(peer, finish);
+      break;
+    case orch::Transport::tcp_host:
+      setup_tcp_trunk(peer, finish);
+      break;
+    default:
+      finish(invalid_argument("transport has no trunk"));
+  }
+}
+
+rdma::RdmaDevice& Agent::rdma_device() {
+  if (rdma_device_ == nullptr) {
+    rdma_device_ = std::make_unique<rdma::RdmaDevice>(host_);
+  }
+  return *rdma_device_;
+}
+
+dpdk::DpdkPort& Agent::dpdk_port() {
+  if (dpdk_port_ == nullptr) {
+    dpdk_port_ = std::make_unique<dpdk::DpdkPort>(host_);
+    dpdk_port_->set_on_message(
+        [this](fabric::HostId, Buffer&& record) { dispatch_record(std::move(record)); });
+    dpdk_port_->set_on_tx_space([this]() { notify_space(); });
+  }
+  return *dpdk_port_;
+}
+
+void Agent::setup_rdma_trunk(fabric::HostId peer,
+                             std::function<void(Result<Trunk*>)> ready) {
+  if (!host_.nic().capabilities().rdma) {
+    ready(failed_precondition("local NIC is not RDMA-capable"));
+    return;
+  }
+  const auto& cfg = fabric_.config();
+  const std::size_t slot = cfg.fragment_bytes + RelayHeader::k_size;
+  auto trunk = std::make_shared<RdmaTrunk>(rdma_device(), account_, cfg.zero_copy,
+                                           slot, cfg.rdma_slots);
+  trunk->set_on_record([this](Buffer&& r) { dispatch_record(std::move(r)); });
+  trunk->set_on_drained([this]() { notify_space(); });
+
+  Agent* peer_agent = &fabric_.agent_on(peer);
+  const fabric::HostId self_host = host_.id();
+  const rdma::QpNum my_qp = trunk->qp()->num();
+
+  fabric::send_control(host_, peer, k_ctrl_bytes,
+                       [this, peer_agent, trunk, self_host, my_qp, peer, ready]() {
+    if (!peer_agent->host().nic().capabilities().rdma) {
+      fabric::send_control(peer_agent->host(), self_host, k_ctrl_bytes, [ready]() {
+        ready(failed_precondition("peer NIC is not RDMA-capable"));
+      });
+      return;
+    }
+    // Peer side: get-or-create its trunk toward us and wire its QP.
+    const TrunkKey peer_key{self_host, orch::Transport::rdma};
+    std::shared_ptr<RdmaTrunk> peer_trunk;
+    if (auto it = peer_agent->trunks_.find(peer_key); it != peer_agent->trunks_.end()) {
+      peer_trunk = std::static_pointer_cast<RdmaTrunk>(it->second);
+    } else {
+      const auto& pcfg = peer_agent->fabric_.config();
+      peer_trunk = std::make_shared<RdmaTrunk>(
+          peer_agent->rdma_device(), peer_agent->account_, pcfg.zero_copy,
+          pcfg.fragment_bytes + RelayHeader::k_size, pcfg.rdma_slots);
+      peer_trunk->set_on_record([peer_agent](Buffer&& r) {
+        peer_agent->dispatch_record(std::move(r));
+      });
+      peer_trunk->set_on_drained([peer_agent]() { peer_agent->notify_space(); });
+      peer_agent->trunks_.emplace(peer_key, peer_trunk);
+    }
+    if (peer_trunk->qp()->state() != rdma::QpState::ready) {
+      FF_CHECK(peer_trunk->qp()->connect(self_host, my_qp).is_ok());
+      peer_trunk->start();
+    }
+    const rdma::QpNum peer_qp = peer_trunk->qp()->num();
+    fabric::send_control(peer_agent->host(), self_host, k_ctrl_bytes,
+                         [this, trunk, peer, peer_qp, ready]() {
+      FF_CHECK(trunk->qp()->connect(peer, peer_qp).is_ok());
+      trunk->start();
+      trunks_.emplace(TrunkKey{peer, orch::Transport::rdma}, trunk);
+      ready(trunk.get());
+    });
+  });
+}
+
+void Agent::setup_dpdk_trunk(fabric::HostId peer,
+                             std::function<void(Result<Trunk*>)> ready) {
+  if (!host_.nic().capabilities().dpdk) {
+    ready(failed_precondition("local NIC does not support DPDK"));
+    return;
+  }
+  dpdk_port().start();
+  Agent* peer_agent = &fabric_.agent_on(peer);
+  const fabric::HostId self_host = host_.id();
+  fabric::send_control(host_, peer, k_ctrl_bytes,
+                       [this, peer_agent, self_host, peer, ready]() {
+    if (!peer_agent->host().nic().capabilities().dpdk) {
+      fabric::send_control(peer_agent->host(), self_host, k_ctrl_bytes, [ready]() {
+        ready(failed_precondition("peer NIC does not support DPDK"));
+      });
+      return;
+    }
+    peer_agent->dpdk_port().start();
+    // Peer-side trunk toward us so its containers can answer.
+    const TrunkKey peer_key{self_host, orch::Transport::dpdk};
+    if (!peer_agent->trunks_.contains(peer_key)) {
+      peer_agent->trunks_.emplace(
+          peer_key, std::make_shared<DpdkTrunk>(peer_agent->dpdk_port(), self_host));
+    }
+    fabric::send_control(peer_agent->host(), self_host, k_ctrl_bytes,
+                         [this, peer, ready]() {
+      auto trunk = std::make_shared<DpdkTrunk>(dpdk_port(), peer);
+      Trunk* raw = trunk.get();
+      trunks_.emplace(TrunkKey{peer, orch::Transport::dpdk}, std::move(trunk));
+      ready(raw);
+    });
+  });
+}
+
+void Agent::setup_tcp_trunk(fabric::HostId peer,
+                            std::function<void(Result<Trunk*>)> ready) {
+  fabric_.agent_on(peer);  // peer must be listening
+  const tcp::Endpoint local{AgentFabric::agent_ip(host_.id()), 0};
+  const tcp::Endpoint remote{AgentFabric::agent_ip(peer), fabric_.config().tcp_port};
+  fabric_.underlay().connect(local, remote,
+                             [this, peer, ready](Result<tcp::TcpConnection::Ptr> conn) {
+    if (!conn.is_ok()) {
+      ready(conn.status());
+      return;
+    }
+    auto trunk = std::make_shared<TcpTrunk>(host_.loop());
+    trunk->set_on_record([this](Buffer&& r) { dispatch_record(std::move(r)); });
+    trunk->set_on_drained([this]() { notify_space(); });
+    trunk->attach(std::move(conn.value()));
+    Trunk* raw = trunk.get();
+    trunks_.emplace(TrunkKey{peer, orch::Transport::tcp_host}, std::move(trunk));
+    ready(raw);
+  });
+}
+
+// -------------------------------------------------------------------- relay
+
+void Agent::relay_outbound(RemoteChannelEndpoint& endpoint, Buffer&& message) {
+  const TrunkKey key{endpoint.peer_host(), endpoint.transport()};
+  auto it = trunks_.find(key);
+  if (it == trunks_.end()) {
+    FF_LOG(warn, "agent") << "no trunk for channel " << endpoint.channel_id()
+                          << "; message dropped (peer migrated?)";
+    return;
+  }
+  Trunk& trunk = *it->second;
+  const std::size_t frag = fabric_.config().fragment_bytes;
+  const auto total = static_cast<std::uint32_t>(message.size());
+  const std::uint64_t seq = next_msg_seq_++;
+  std::size_t offset = 0;
+  do {
+    const std::size_t n = std::min(frag, message.size() - offset);
+    RelayHeader header;
+    header.src_container = endpoint.self();
+    header.dst_container = endpoint.peer();
+    header.channel = endpoint.channel_id();
+    header.msg_seq = seq;
+    header.total_len = total;
+    header.frag_offset = static_cast<std::uint32_t>(offset);
+    trunk.send(make_record(header, ByteSpan{message.data() + offset, n}));
+    ++records_relayed_;
+    offset += n;
+  } while (offset < message.size());
+}
+
+bool Agent::trunk_writable(fabric::HostId peer, orch::Transport transport) const {
+  auto it = trunks_.find(TrunkKey{peer, transport});
+  if (it == trunks_.end()) return true;
+  return !it->second->congested();
+}
+
+void Agent::notify_space() {
+  for (auto& [id, ep] : endpoints_) {
+    if (!ep->closed()) ep->poke_space();
+  }
+}
+
+void Agent::dispatch_record(Buffer&& record) {
+  auto parsed = parse_record(record.view());
+  if (!parsed.is_ok()) {
+    FF_LOG(warn, "agent") << "malformed relay record: " << parsed.status();
+    return;
+  }
+  const RelayHeader& h = parsed->header;
+  FF_LOG(debug, "agent") << "rx record ch=" << h.channel << " seq=" << h.msg_seq
+                         << " off=" << h.frag_offset << " frag=" << parsed->fragment.size()
+                         << " total=" << h.total_len;
+  auto it = endpoints_.find(h.channel);
+  if (it == endpoints_.end()) {
+    FF_LOG(debug, "agent") << "record for unknown channel " << h.channel << " dropped";
+    return;
+  }
+  auto& endpoint = *it->second;
+
+  if (h.frag_offset == 0 && parsed->fragment.size() == h.total_len) {
+    endpoint.deliver_inbound(Buffer(parsed->fragment.data(), parsed->fragment.size()));
+    return;
+  }
+  auto& slot = rx_[{h.channel, h.msg_seq}];
+  if (slot.data.size() != h.total_len) slot.data.resize(h.total_len);
+  if (!parsed->fragment.empty()) {
+    std::memcpy(slot.data.data() + h.frag_offset, parsed->fragment.data(),
+                parsed->fragment.size());
+  }
+  slot.received += parsed->fragment.size();
+  if (slot.received >= h.total_len) {
+    Buffer whole = std::move(slot.data);
+    rx_.erase({h.channel, h.msg_seq});
+    endpoint.deliver_inbound(std::move(whole));
+  }
+}
+
+}  // namespace freeflow::agent

@@ -1,0 +1,167 @@
+// The per-host FreeFlow network agent (paper §3.2): brokers shared-memory
+// channels between local containers, and relays inter-host container
+// traffic over agent-to-agent trunks (RDMA when the NICs allow it, DPDK or
+// kernel TCP otherwise). Containers never touch the physical NIC.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "agent/channel.h"
+#include "agent/relay.h"
+#include "agent/trunk.h"
+#include "dpdk/pmd.h"
+#include "shm/region.h"
+#include "orchestrator/network_orchestrator.h"
+#include "rdma/device.h"
+#include "tcpstack/modes.h"
+#include "tcpstack/network.h"
+
+namespace freeflow::agent {
+
+class AgentFabric;
+
+class Agent {
+ public:
+  /// Invoked when a peer opens a channel toward a local container.
+  using IncomingFn = std::function<void(orch::ContainerId src, ChannelPtr)>;
+  using EstablishFn = std::function<void(Result<ChannelPtr>)>;
+
+  Agent(AgentFabric& fabric, fabric::Host& host);
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// The core library registers each local container here.
+  void register_container(orch::ContainerId id, IncomingFn on_incoming);
+  void unregister_container(orch::ContainerId id);
+
+  /// Opens a channel from local container `src` to container `dst` using
+  /// the orchestrator-chosen `transport`. Asynchronous: trunk setup and the
+  /// cross-agent handshake ride the control plane.
+  void establish(orch::ContainerId src, orch::ContainerId dst,
+                 orch::Transport transport, EstablishFn done);
+
+  [[nodiscard]] fabric::Host& host() noexcept { return host_; }
+  [[nodiscard]] sim::UsageAccount& account() noexcept { return account_; }
+  [[nodiscard]] AgentFabric& fabric() noexcept { return fabric_; }
+
+  /// Endpoint-internal: fragments `message` into relay records and pushes
+  /// them down the channel's trunk.
+  void relay_outbound(RemoteChannelEndpoint& endpoint, Buffer&& message);
+
+  /// Trunk-internal: a record arrived from a peer agent.
+  void dispatch_record(Buffer&& record);
+
+  /// True when the trunk toward `peer` can absorb more records (the
+  /// channel-level writable() signal ANDs this in).
+  [[nodiscard]] bool trunk_writable(fabric::HostId peer, orch::Transport transport) const;
+
+  /// A trunk drained: re-signal writability on every endpoint.
+  void notify_space();
+
+  [[nodiscard]] std::uint64_t records_relayed() const noexcept { return records_relayed_; }
+
+ private:
+  friend class AgentFabric;
+
+  struct TrunkKey {
+    fabric::HostId peer;
+    orch::Transport transport;
+    auto operator<=>(const TrunkKey&) const = default;
+  };
+
+  void establish_shm(orch::ContainerId src, orch::ContainerId dst, EstablishFn done);
+  void establish_remote(orch::ContainerId src, orch::ContainerId dst,
+                        fabric::HostId dst_host, orch::Transport transport,
+                        EstablishFn done);
+  /// Gets or builds the trunk to `peer`; `ready` fires when usable.
+  void with_trunk(fabric::HostId peer, orch::Transport transport,
+                  std::function<void(Result<Trunk*>)> ready);
+  void setup_rdma_trunk(fabric::HostId peer, std::function<void(Result<Trunk*>)> ready);
+  void setup_dpdk_trunk(fabric::HostId peer, std::function<void(Result<Trunk*>)> ready);
+  void setup_tcp_trunk(fabric::HostId peer, std::function<void(Result<Trunk*>)> ready);
+
+  rdma::RdmaDevice& rdma_device();
+  dpdk::DpdkPort& dpdk_port();
+
+ public:
+  /// The host's /dev/shm model; lanes are backed by permissioned regions.
+  [[nodiscard]] shm::RegionRegistry& shm_registry() noexcept { return shm_registry_; }
+
+ private:
+
+  /// Peer-agent request: create the B-side endpoint for a channel.
+  void accept_channel(orch::ContainerId src, orch::ContainerId dst,
+                      std::uint64_t channel_id, orch::Transport transport,
+                      fabric::HostId src_host, std::function<void(Status)> reply);
+
+  std::shared_ptr<shm::ShmLane> make_lane(sim::UsageAccount* sender,
+                                          sim::UsageAccount* receiver);
+  sim::UsageAccount* container_account(orch::ContainerId id);
+
+  AgentFabric& fabric_;
+  fabric::Host& host_;
+  sim::UsageAccount account_;
+
+  std::unordered_map<orch::ContainerId, IncomingFn> containers_;
+  std::map<TrunkKey, std::shared_ptr<Trunk>> trunks_;
+  std::map<TrunkKey, std::vector<std::function<void(Result<Trunk*>)>>> trunk_waiters_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<RemoteChannelEndpoint>> endpoints_;
+
+  /// Reassembly of fragmented inbound messages: (channel, msg_seq) -> state.
+  struct Reassembly {
+    Buffer data;
+    std::size_t received = 0;
+  };
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Reassembly> rx_;
+
+  std::unique_ptr<rdma::RdmaDevice> rdma_device_;
+  std::unique_ptr<dpdk::DpdkPort> dpdk_port_;
+  shm::RegionRegistry shm_registry_;
+  std::uint64_t records_relayed_ = 0;
+  std::uint64_t next_msg_seq_ = 1;
+};
+
+/// Deployment-wide agent wiring: one agent per host, the shared underlay
+/// TCP network for TCP trunks, and channel-id allocation.
+class AgentFabric {
+ public:
+  AgentFabric(orch::NetworkOrchestrator& orchestrator, AgentConfig config = {});
+
+  AgentFabric(const AgentFabric&) = delete;
+  AgentFabric& operator=(const AgentFabric&) = delete;
+
+  /// Gets (or starts) the agent on `host`.
+  Agent& agent_on(fabric::HostId host);
+
+  [[nodiscard]] orch::NetworkOrchestrator& orchestrator() noexcept { return orchestrator_; }
+  [[nodiscard]] const AgentConfig& config() const noexcept { return config_; }
+  [[nodiscard]] AgentConfig& mutable_config() noexcept { return config_; }
+  [[nodiscard]] fabric::Cluster& cluster() noexcept;
+  [[nodiscard]] sim::EventLoop& loop() noexcept;
+  [[nodiscard]] tcp::TcpNetwork& underlay() noexcept { return underlay_net_; }
+
+  [[nodiscard]] std::uint64_t next_channel_id() noexcept { return next_channel_id_++; }
+
+  /// The host-network IP an agent listens on (host mode): 192.168.0.(id+1).
+  [[nodiscard]] static tcp::Ipv4Addr agent_ip(fabric::HostId host) noexcept {
+    return tcp::Ipv4Addr(192, 168, 0, static_cast<std::uint8_t>(host + 1));
+  }
+  [[nodiscard]] static fabric::HostId host_of_agent_ip(tcp::Ipv4Addr ip) noexcept {
+    return (ip.value() & 0xFF) - 1;
+  }
+
+ private:
+  orch::NetworkOrchestrator& orchestrator_;
+  AgentConfig config_;
+  tcp::HostModeBuilder underlay_builder_;
+  tcp::TcpNetwork underlay_net_;
+  std::unordered_map<fabric::HostId, std::unique_ptr<Agent>> agents_;
+  std::uint64_t next_channel_id_ = 1;
+};
+
+}  // namespace freeflow::agent

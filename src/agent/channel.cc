@@ -1,0 +1,97 @@
+#include "agent/channel.h"
+
+#include "agent/agent.h"
+
+#include "common/logging.h"
+
+namespace freeflow::agent {
+
+// ------------------------------------------------------------- LaneSender
+
+LaneSender::LaneSender(std::shared_ptr<shm::ShmLane> lane) : lane_(std::move(lane)) {
+  lane_->set_on_space([this]() { drain(); });
+}
+
+void LaneSender::send(Buffer message) {
+  if (overflow_.empty() && lane_->send(message.view()).is_ok()) return;
+  overflow_.push_back(std::move(message));
+}
+
+bool LaneSender::writable() const noexcept {
+  return overflow_.empty() && lane_->can_send(1);
+}
+
+void LaneSender::drain() {
+  while (!overflow_.empty()) {
+    if (!lane_->send(overflow_.front().view()).is_ok()) return;
+    overflow_.pop_front();
+  }
+  if (user_on_space_) user_on_space_();
+}
+
+// ------------------------------------------------------- ShmChannelEndpoint
+
+ShmChannelEndpoint::ShmChannelEndpoint(orch::ContainerId peer,
+                                       std::shared_ptr<shm::ShmLane> tx,
+                                       std::shared_ptr<shm::ShmLane> rx)
+    : peer_(peer), tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+Status ShmChannelEndpoint::send(Buffer message) {
+  if (closed_) return failed_precondition("channel closed");
+  tx_.send(std::move(message));
+  return ok_status();
+}
+
+void ShmChannelEndpoint::set_on_message(DeliverFn cb) {
+  rx_->set_receiver([this, cb = std::move(cb)](Buffer&& msg) {
+    if (!closed_ && cb) cb(std::move(msg));
+  });
+}
+
+// ---------------------------------------------------- RemoteChannelEndpoint
+
+RemoteChannelEndpoint::RemoteChannelEndpoint(Agent& local_agent, orch::ContainerId self,
+                                             orch::ContainerId peer,
+                                             fabric::HostId peer_host,
+                                             std::uint64_t channel_id,
+                                             orch::Transport transport,
+                                             std::shared_ptr<shm::ShmLane> to_agent,
+                                             std::shared_ptr<shm::ShmLane> from_agent)
+    : agent_(local_agent),
+      self_(self),
+      peer_(peer),
+      peer_host_(peer_host),
+      channel_id_(channel_id),
+      transport_(transport),
+      tx_(to_agent),
+      to_agent_(to_agent),
+      from_agent_(from_agent),
+      inbound_(from_agent) {
+  // Container -> agent lane terminates at the agent's relay.
+  to_agent_->set_receiver([this](Buffer&& msg) {
+    if (!closed_) agent_.relay_outbound(*this, std::move(msg));
+  });
+}
+
+bool RemoteChannelEndpoint::writable() const noexcept {
+  return tx_.writable() && agent_.trunk_writable(peer_host_, transport_);
+}
+
+Status RemoteChannelEndpoint::send(Buffer message) {
+  if (closed_) return failed_precondition("channel closed");
+  tx_.send(std::move(message));
+  return ok_status();
+}
+
+void RemoteChannelEndpoint::set_on_message(DeliverFn cb) {
+  from_agent_->set_receiver([this, cb = std::move(cb)](Buffer&& msg) {
+    if (!closed_ && cb) cb(std::move(msg));
+  });
+}
+
+void RemoteChannelEndpoint::deliver_inbound(Buffer&& message) {
+  if (closed_) return;
+  inbound_.send(std::move(message));
+}
+
+}  // namespace freeflow::agent

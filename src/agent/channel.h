@@ -1,0 +1,151 @@
+// Transport-agnostic duplex message channels between two containers. The
+// core library's virtual NIC sits on top of exactly this interface, which
+// is how the actual data-plane mechanism stays invisible to applications.
+//
+// send() never rejects for backpressure: endpoints queue internally and
+// drain as ring space frees. `writable()` is the advisory signal sources
+// should pace on (closed-loop workloads never build a queue).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "orchestrator/container.h"
+#include "orchestrator/network_orchestrator.h"
+#include "shm/channel.h"
+#include "shm/region.h"
+
+namespace freeflow::agent {
+
+class Agent;
+
+class Channel {
+ public:
+  using DeliverFn = std::function<void(Buffer&&)>;
+
+  virtual ~Channel() = default;
+
+  /// Sends one message; fails only if the channel is closed.
+  virtual Status send(Buffer message) = 0;
+
+  /// False while the underlying ring is full (advisory pacing signal).
+  [[nodiscard]] virtual bool writable() const noexcept = 0;
+
+  virtual void set_on_message(DeliverFn cb) = 0;
+  /// Invoked when the channel transitions back to writable.
+  virtual void set_on_space(std::function<void()> cb) = 0;
+
+  [[nodiscard]] virtual orch::Transport transport() const noexcept = 0;
+  [[nodiscard]] virtual orch::ContainerId peer() const noexcept = 0;
+
+  /// After close() the endpoint drops all traffic (used on migration).
+  virtual void close() noexcept = 0;
+  [[nodiscard]] virtual bool closed() const noexcept = 0;
+};
+
+using ChannelPtr = std::shared_ptr<Channel>;
+
+/// One endpoint's view of an shm lane with an internal overflow queue.
+class LaneSender {
+ public:
+  explicit LaneSender(std::shared_ptr<shm::ShmLane> lane);
+
+  /// Queues or sends; drains automatically as the ring frees.
+  void send(Buffer message);
+  [[nodiscard]] bool writable() const noexcept;
+  void set_on_space(std::function<void()> cb) { user_on_space_ = std::move(cb); }
+  /// Re-fires the user's space callback (trunk-drained notifications).
+  void poke() {
+    if (user_on_space_) user_on_space_();
+  }
+  [[nodiscard]] shm::ShmLane& lane() noexcept { return *lane_; }
+
+ private:
+  void drain();
+
+  std::shared_ptr<shm::ShmLane> lane_;
+  std::deque<Buffer> overflow_;
+  std::function<void()> user_on_space_;
+};
+
+/// Intra-host endpoint: a pair of shm lanes directly between the two
+/// containers (the agent only brokers setup — the data plane is pure
+/// shared memory, paper Fig. 7).
+class ShmChannelEndpoint final : public Channel {
+ public:
+  ShmChannelEndpoint(orch::ContainerId peer, std::shared_ptr<shm::ShmLane> tx,
+                     std::shared_ptr<shm::ShmLane> rx);
+
+  Status send(Buffer message) override;
+  [[nodiscard]] bool writable() const noexcept override { return tx_.writable(); }
+  void set_on_message(DeliverFn cb) override;
+  void set_on_space(std::function<void()> cb) override { tx_.set_on_space(std::move(cb)); }
+  [[nodiscard]] orch::Transport transport() const noexcept override {
+    return orch::Transport::shm;
+  }
+  [[nodiscard]] orch::ContainerId peer() const noexcept override { return peer_; }
+  void close() noexcept override { closed_ = true; }
+  [[nodiscard]] bool closed() const noexcept override { return closed_; }
+
+  /// Ties the backing shm region's lifetime to this endpoint.
+  void hold_region(std::shared_ptr<shm::Region> region) { region_ = std::move(region); }
+
+ private:
+  orch::ContainerId peer_;
+  LaneSender tx_;
+  std::shared_ptr<shm::ShmLane> rx_;
+  std::shared_ptr<shm::Region> region_;
+  bool closed_ = false;
+};
+
+/// Inter-host endpoint: container <-shm-> local agent <-trunk-> remote
+/// agent <-shm-> container.
+class RemoteChannelEndpoint final
+    : public Channel,
+      public std::enable_shared_from_this<RemoteChannelEndpoint> {
+ public:
+  RemoteChannelEndpoint(Agent& local_agent, orch::ContainerId self,
+                        orch::ContainerId peer, fabric::HostId peer_host,
+                        std::uint64_t channel_id, orch::Transport transport,
+                        std::shared_ptr<shm::ShmLane> to_agent,
+                        std::shared_ptr<shm::ShmLane> from_agent);
+
+  Status send(Buffer message) override;
+  /// Writable only while both the container->agent ring has space AND the
+  /// agent's trunk toward the peer host is uncongested — this propagates
+  /// NIC-rate backpressure all the way to the application.
+  [[nodiscard]] bool writable() const noexcept override;
+  void set_on_message(DeliverFn cb) override;
+  void set_on_space(std::function<void()> cb) override { tx_.set_on_space(std::move(cb)); }
+  /// Agent-internal: trunk drained, re-signal writability.
+  void poke_space() { tx_.poke(); }
+  [[nodiscard]] orch::Transport transport() const noexcept override { return transport_; }
+  [[nodiscard]] orch::ContainerId peer() const noexcept override { return peer_; }
+  void close() noexcept override { closed_ = true; }
+  [[nodiscard]] bool closed() const noexcept override { return closed_; }
+
+  [[nodiscard]] std::uint64_t channel_id() const noexcept { return channel_id_; }
+  [[nodiscard]] orch::ContainerId self() const noexcept { return self_; }
+  [[nodiscard]] fabric::HostId peer_host() const noexcept { return peer_host_; }
+
+  /// Agent-side: delivers a fully reassembled inbound message.
+  void deliver_inbound(Buffer&& message);
+
+ private:
+  Agent& agent_;
+  orch::ContainerId self_;
+  orch::ContainerId peer_;
+  fabric::HostId peer_host_;
+  std::uint64_t channel_id_;
+  orch::Transport transport_;
+  LaneSender tx_;                             ///< container -> agent
+  std::shared_ptr<shm::ShmLane> to_agent_;    ///< keep for receiver wiring
+  std::shared_ptr<shm::ShmLane> from_agent_;  ///< agent -> container
+  LaneSender inbound_;                        ///< agent-side sender on from_agent
+  bool closed_ = false;
+};
+
+}  // namespace freeflow::agent

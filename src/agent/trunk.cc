@@ -1,0 +1,184 @@
+#include "agent/trunk.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace freeflow::agent {
+
+// ---------------------------------------------------------------- RdmaTrunk
+
+RdmaTrunk::RdmaTrunk(rdma::RdmaDevice& device, sim::UsageAccount& account,
+                     bool zero_copy, std::size_t slot_bytes, std::uint32_t slots)
+    : device_(device),
+      account_(account),
+      zero_copy_(zero_copy),
+      slot_bytes_(slot_bytes),
+      slots_(slots) {
+  send_mr_ = device_.reg_mr(slot_bytes_ * slots_);
+  recv_mr_ = device_.reg_mr(slot_bytes_ * slots_);
+  send_cq_ = device_.create_cq(slots_ * 4);
+  recv_cq_ = device_.create_cq(slots_ * 4);
+  rdma::QpAttr attr;
+  attr.max_send_wr = slots_ * 2;
+  attr.max_recv_wr = slots_ * 2;
+  qp_ = device_.create_qp(send_cq_, recv_cq_, attr);
+  free_slots_.reserve(slots_);
+  for (std::uint32_t s = 0; s < slots_; ++s) free_slots_.push_back(s);
+}
+
+void RdmaTrunk::start(std::shared_ptr<rdma::QueuePair>) {
+  for (std::uint32_t s = 0; s < slots_; ++s) repost_recv(s);
+  send_cq_->set_notify([this]() { schedule_poll(); });
+  recv_cq_->set_notify([this]() { schedule_poll(); });
+  pump();
+}
+
+void RdmaTrunk::repost_recv(std::uint32_t slot) {
+  rdma::RecvWr wr;
+  wr.wr_id = slot;
+  wr.local = {recv_mr_, slot * slot_bytes_, slot_bytes_};
+  const Status posted = qp_->post_recv(wr, &account_);
+  FF_CHECK(posted.is_ok());
+}
+
+void RdmaTrunk::send(Buffer record) {
+  FF_CHECK(record.size() <= slot_bytes_);
+  queue_.push_back(std::move(record));
+  pump();
+}
+
+void RdmaTrunk::pump() {
+  if (qp_->state() != rdma::QpState::ready) return;
+  auto& host = device_.host();
+  const auto& m = host.cost_model();
+  while (!queue_.empty() && !free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    Buffer record = std::move(queue_.front());
+    queue_.pop_front();
+
+    auto dst = send_mr_->slice(slot * slot_bytes_, record.size());
+    FF_CHECK(dst.is_ok());
+    std::memcpy(dst->data(), record.data(), record.size());
+
+    // Zero-copy relay: the shm block doubles as the registered buffer, so
+    // the agent pays only fixed per-record CPU. Copy mode is the ablation.
+    double cpu = m.agent_record_ns;
+    if (!zero_copy_) cpu += m.agent_copy_ns_per_byte * static_cast<double>(record.size());
+    host.cpu().submit(cpu, nullptr, &account_);
+
+    rdma::SendWr wr;
+    wr.wr_id = slot;
+    wr.opcode = rdma::Opcode::send;
+    wr.local = {send_mr_, slot * slot_bytes_, record.size()};
+    wr.signaled = true;
+    const Status posted = qp_->post_send(wr, &account_);
+    FF_CHECK(posted.is_ok());
+    ++sent_;
+  }
+}
+
+void RdmaTrunk::schedule_poll() {
+  if (poll_scheduled_) return;
+  poll_scheduled_ = true;
+  device_.host().loop().schedule(device_.host().cost_model().agent_wakeup_ns, [this]() {
+    poll_scheduled_ = false;
+    poll_cqs();
+  });
+}
+
+void RdmaTrunk::poll_cqs() {
+  auto& host = device_.host();
+  const auto& m = host.cost_model();
+  rdma::WorkCompletion wcs[16];
+
+  for (;;) {
+    const std::size_t n = send_cq_->poll(wcs);
+    if (n == 0) break;
+    host.cpu().submit(m.rdma_poll_ns * static_cast<double>(n), nullptr, &account_);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (wcs[i].status != rdma::WcStatus::success) {
+        FF_LOG(warn, "agent") << "trunk send completion error";
+        continue;
+      }
+      free_slots_.push_back(static_cast<std::uint32_t>(wcs[i].wr_id));
+    }
+  }
+  for (;;) {
+    const std::size_t n = recv_cq_->poll(wcs);
+    if (n == 0) break;
+    host.cpu().submit(m.rdma_poll_ns * static_cast<double>(n), nullptr, &account_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto slot = static_cast<std::uint32_t>(wcs[i].wr_id);
+      Buffer record(recv_mr_->data().data() + slot * slot_bytes_, wcs[i].byte_len);
+      repost_recv(slot);
+      host.cpu().submit(m.agent_record_ns, nullptr, &account_);
+      if (on_record_) on_record_(std::move(record));
+    }
+  }
+  pump();
+  maybe_drained();
+}
+
+// ---------------------------------------------------------------- DpdkTrunk
+
+DpdkTrunk::DpdkTrunk(dpdk::DpdkPort& port, fabric::HostId peer)
+    : port_(port), peer_(peer) {}
+
+void DpdkTrunk::send(Buffer record) {
+  ++sent_;
+  const Status sent = port_.send(peer_, std::move(record));
+  if (!sent.is_ok()) {
+    FF_LOG(warn, "agent") << "dpdk trunk send failed: " << sent;
+  }
+}
+
+// ----------------------------------------------------------------- TcpTrunk
+
+void TcpTrunk::attach(tcp::TcpConnection::Ptr conn) {
+  conn_ = std::move(conn);
+  conn_->set_on_data([this](Buffer&& data) { on_bytes(std::move(data)); });
+  conn_->set_on_writable([this]() { pump(); });
+  pump();
+}
+
+void TcpTrunk::send(Buffer record) {
+  queue_.push_back(std::move(record));
+  pump();
+}
+
+void TcpTrunk::pump() {
+  if (conn_ == nullptr) return;
+  while (!queue_.empty()) {
+    const Buffer& record = queue_.front();
+    Buffer framed(4 + record.size());
+    const auto len = static_cast<std::uint32_t>(record.size());
+    std::memcpy(framed.data(), &len, 4);
+    std::memcpy(framed.data() + 4, record.data(), record.size());
+    const Status s = conn_->send(std::move(framed));
+    if (!s.is_ok()) return;  // would_block: resume from on_writable
+    ++sent_;
+    queue_.pop_front();
+  }
+  maybe_drained();
+}
+
+void TcpTrunk::on_bytes(Buffer&& data) {
+  rx_accum_.append(data.view());
+  std::size_t cursor = 0;
+  while (rx_accum_.size() - cursor >= 4) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, rx_accum_.data() + cursor, 4);
+    if (rx_accum_.size() - cursor - 4 < len) break;
+    Buffer record(rx_accum_.data() + cursor + 4, len);
+    cursor += 4 + len;
+    if (on_record_) on_record_(std::move(record));
+  }
+  if (cursor > 0) {
+    Buffer rest(rx_accum_.data() + cursor, rx_accum_.size() - cursor);
+    rx_accum_ = std::move(rest);
+  }
+}
+
+}  // namespace freeflow::agent

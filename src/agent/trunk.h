@@ -1,0 +1,148 @@
+// Trunks: the agent-to-agent bulk transports. One trunk per (host pair,
+// mechanism); all container channels between the two hosts share it. The
+// RDMA trunk is the paper's primary inter-host data plane; DPDK and
+// host-mode TCP are the fallbacks the orchestrator picks when NICs are
+// less capable.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "dpdk/pmd.h"
+#include "fabric/host.h"
+#include "rdma/cm.h"
+#include "rdma/device.h"
+#include "rdma/queue_pair.h"
+#include "sim/resource.h"
+#include "tcpstack/network.h"
+
+namespace freeflow::agent {
+
+class Trunk {
+ public:
+  using RecordFn = std::function<void(Buffer&&)>;
+
+  virtual ~Trunk() = default;
+
+  /// Queues one relay record toward the peer agent. Trunks buffer
+  /// internally; delivery order is preserved.
+  virtual void send(Buffer record) = 0;
+
+  /// True while the trunk's internal queue is deep: senders should pause
+  /// (this is what backpressures containers to the NIC's actual rate).
+  [[nodiscard]] virtual bool congested() const noexcept { return false; }
+
+  [[nodiscard]] virtual std::uint64_t records_sent() const noexcept = 0;
+
+ protected:
+  RecordFn on_record_;     ///< set by the owning agent pair
+  std::function<void()> on_drained_;
+
+  void maybe_drained() {
+    if (!congested() && on_drained_) on_drained_();
+  }
+
+ public:
+  void set_on_record(RecordFn cb) { on_record_ = std::move(cb); }
+  void set_on_drained(std::function<void()> cb) { on_drained_ = std::move(cb); }
+
+  static constexpr std::size_t k_congestion_records = 32;
+};
+
+/// RDMA trunk: a connected RC QP with a ring of send slots in a registered
+/// MR and pre-posted receives. In zero-copy mode the payload bytes are
+/// charged no agent-CPU copy (the shm block itself is registered, as in
+/// the paper's Fig. 6 flow); copy mode is the ablation baseline.
+class RdmaTrunk final : public Trunk {
+ public:
+  RdmaTrunk(rdma::RdmaDevice& device, sim::UsageAccount& account, bool zero_copy,
+            std::size_t slot_bytes, std::uint32_t slots);
+
+  /// Call once on each side after create; exchanges QP numbers.
+  [[nodiscard]] std::shared_ptr<rdma::QueuePair> qp() noexcept { return qp_; }
+  void start(std::shared_ptr<rdma::QueuePair> remote_unused = nullptr);
+
+  void send(Buffer record) override;
+  [[nodiscard]] bool congested() const noexcept override {
+    return queue_.size() > k_congestion_records;
+  }
+  [[nodiscard]] std::uint64_t records_sent() const noexcept override { return sent_; }
+
+ private:
+  void pump();
+  void schedule_poll();
+  void poll_cqs();
+  void repost_recv(std::uint32_t slot);
+
+  rdma::RdmaDevice& device_;
+  sim::UsageAccount& account_;
+  bool zero_copy_;
+  std::size_t slot_bytes_;
+  std::uint32_t slots_;
+
+  rdma::MrPtr send_mr_;
+  rdma::MrPtr recv_mr_;
+  rdma::CqPtr send_cq_;
+  rdma::CqPtr recv_cq_;
+  std::shared_ptr<rdma::QueuePair> qp_;
+
+  std::vector<std::uint32_t> free_slots_;
+  std::deque<Buffer> queue_;
+  bool poll_scheduled_ = false;
+  std::uint64_t sent_ = 0;
+};
+
+/// DPDK trunk: records ride the shared per-host PMD port.
+class DpdkTrunk final : public Trunk {
+ public:
+  DpdkTrunk(dpdk::DpdkPort& port, fabric::HostId peer);
+
+  void send(Buffer record) override;
+  [[nodiscard]] bool congested() const noexcept override {
+    return port_.tx_queue_depth() > k_congestion_records;
+  }
+  [[nodiscard]] std::uint64_t records_sent() const noexcept override { return sent_; }
+
+  /// The owning agent routes port messages here.
+  void deliver(Buffer&& record) {
+    if (on_record_) on_record_(std::move(record));
+  }
+
+ private:
+  dpdk::DpdkPort& port_;
+  fabric::HostId peer_;
+  std::uint64_t sent_ = 0;
+};
+
+/// TCP trunk: a host-mode kernel TCP connection between the two agents,
+/// with length-prefixed record framing on the byte stream.
+class TcpTrunk final : public Trunk {
+ public:
+  explicit TcpTrunk(sim::EventLoop& loop) : loop_(loop) {}
+
+  /// Attaches the established connection (either side).
+  void attach(tcp::TcpConnection::Ptr conn);
+
+  void send(Buffer record) override;
+  [[nodiscard]] bool congested() const noexcept override {
+    return queue_.size() > k_congestion_records;
+  }
+  [[nodiscard]] std::uint64_t records_sent() const noexcept override { return sent_; }
+  [[nodiscard]] bool connected() const noexcept { return conn_ != nullptr; }
+
+ private:
+  void pump();
+  void on_bytes(Buffer&& data);
+
+  sim::EventLoop& loop_;
+  tcp::TcpConnection::Ptr conn_;
+  std::deque<Buffer> queue_;  ///< records waiting for the connection/window
+  Buffer rx_accum_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace freeflow::agent

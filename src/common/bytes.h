@@ -1,0 +1,66 @@
+// Byte buffers and data-integrity helpers. Payloads in the simulation are
+// real bytes so that end-to-end tests can checksum what arrives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace freeflow {
+
+using ByteSpan = std::span<const std::byte>;
+using MutableByteSpan = std::span<std::byte>;
+
+/// Owning, resizable byte buffer.
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::size_t size) : bytes_(size) {}
+  Buffer(const void* data, std::size_t size)
+      : bytes_(static_cast<const std::byte*>(data), static_cast<const std::byte*>(data) + size) {}
+  static Buffer from_string(std::string_view s) { return Buffer(s.data(), s.size()); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return bytes_.empty(); }
+  [[nodiscard]] std::byte* data() noexcept { return bytes_.data(); }
+  [[nodiscard]] const std::byte* data() const noexcept { return bytes_.data(); }
+
+  [[nodiscard]] ByteSpan view() const noexcept { return {bytes_.data(), bytes_.size()}; }
+  [[nodiscard]] MutableByteSpan mutable_view() noexcept { return {bytes_.data(), bytes_.size()}; }
+
+  void resize(std::size_t size) { bytes_.resize(size); }
+  void append(ByteSpan chunk) { bytes_.insert(bytes_.end(), chunk.begin(), chunk.end()); }
+  void append(const void* data, std::size_t size) {
+    append(ByteSpan{static_cast<const std::byte*>(data), size});
+  }
+  void clear() noexcept { bytes_.clear(); }
+
+  [[nodiscard]] std::string to_string() const {
+    return {reinterpret_cast<const char*>(bytes_.data()), bytes_.size()};
+  }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) { return a.bytes_ == b.bytes_; }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// CRC32 (IEEE polynomial, reflected) over a byte span. Used by tests and
+/// workloads to verify payload integrity across every transport.
+std::uint32_t crc32(ByteSpan data) noexcept;
+inline std::uint32_t crc32(const void* data, std::size_t size) noexcept {
+  return crc32(ByteSpan{static_cast<const std::byte*>(data), size});
+}
+
+/// Fills `out` with a deterministic pattern derived from `seed` so receivers
+/// can regenerate and compare.
+void fill_pattern(MutableByteSpan out, std::uint64_t seed) noexcept;
+
+/// True if `data` matches the pattern `fill_pattern` would produce for seed.
+bool check_pattern(ByteSpan data, std::uint64_t seed) noexcept;
+
+}  // namespace freeflow

@@ -1,0 +1,121 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace freeflow {
+
+Histogram::Histogram(int sub_buckets_log2) : sub_log2_(sub_buckets_log2) {
+  // 64 exponent ranges × 2^sub_log2_ sub-buckets covers the full int64 range.
+  buckets_.assign(static_cast<std::size_t>(64) << sub_log2_, 0);
+}
+
+std::size_t Histogram::bucket_index(std::int64_t value) const noexcept {
+  if (value < 0) value = 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < (1ULL << sub_log2_)) return static_cast<std::size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - sub_log2_;
+  const auto sub = static_cast<std::size_t>((v >> shift) & ((1ULL << sub_log2_) - 1));
+  const auto range = static_cast<std::size_t>(msb - sub_log2_ + 1);
+  return (range << sub_log2_) + sub;
+}
+
+std::int64_t Histogram::bucket_midpoint(std::size_t index) const noexcept {
+  const std::size_t range = index >> sub_log2_;
+  const std::size_t sub = index & ((1ULL << sub_log2_) - 1);
+  if (range == 0) return static_cast<std::int64_t>(sub);
+  const int shift = static_cast<int>(range) - 1;
+  const std::uint64_t base = (1ULL << (shift + sub_log2_)) + (static_cast<std::uint64_t>(sub) << shift);
+  const std::uint64_t width = 1ULL << shift;
+  return static_cast<std::int64_t>(base + width / 2);
+}
+
+void Histogram::record(std::int64_t value) noexcept { record_n(value, 1); }
+
+void Histogram::record_n(std::int64_t value, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  const std::size_t idx = bucket_index(value);
+  buckets_[std::min(idx, buckets_.size() - 1)] += n;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += n;
+  sum_ += value * static_cast<std::int64_t>(n);
+}
+
+std::int64_t Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() == buckets_.size()) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  } else {
+    // Different resolution: re-record midpoints (approximate).
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+      if (other.buckets_[i] != 0) {
+        buckets_[std::min(bucket_index(other.bucket_midpoint(i)), buckets_.size() - 1)] +=
+            other.buckets_[i];
+      }
+    }
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+std::string format_ns(double ns) {
+  char buf[64];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  }
+  return buf;
+}
+
+std::string Histogram::summary_ns() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "n=%llu mean=%s p50=%s p99=%s max=%s",
+                static_cast<unsigned long long>(count_), format_ns(mean()).c_str(),
+                format_ns(static_cast<double>(p50())).c_str(),
+                format_ns(static_cast<double>(p99())).c_str(),
+                format_ns(static_cast<double>(max())).c_str());
+  return buf;
+}
+
+}  // namespace freeflow

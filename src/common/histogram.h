@@ -1,0 +1,53 @@
+// Log-linear latency histogram (HdrHistogram-style): constant relative error
+// across many orders of magnitude, O(1) record, quantile queries by scan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace freeflow {
+
+class Histogram {
+ public:
+  /// `sub_buckets_log2` controls relative precision (default 1/32 ≈ 3 %).
+  explicit Histogram(int sub_buckets_log2 = 5);
+
+  void record(std::int64_t value) noexcept;
+  void record_n(std::int64_t value, std::uint64_t count) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::int64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::int64_t max() const noexcept { return count_ == 0 ? 0 : max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0,1]; approximate to bucket resolution.
+  [[nodiscard]] std::int64_t quantile(double q) const noexcept;
+  [[nodiscard]] std::int64_t p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] std::int64_t p99() const noexcept { return quantile(0.99); }
+  [[nodiscard]] std::int64_t p999() const noexcept { return quantile(0.999); }
+
+  void merge(const Histogram& other) noexcept;
+  void reset() noexcept;
+
+  /// "n=1000 mean=12.3us p50=11us p99=40us max=80us" with ns values.
+  [[nodiscard]] std::string summary_ns() const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(std::int64_t value) const noexcept;
+  [[nodiscard]] std::int64_t bucket_midpoint(std::size_t index) const noexcept;
+
+  int sub_log2_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Pretty-prints a nanosecond quantity ("1.25ms", "830ns").
+std::string format_ns(double ns);
+
+}  // namespace freeflow

@@ -1,0 +1,47 @@
+// Minimal leveled logger. Logging is off by default above `warn` so that
+// benchmarks and simulations stay quiet; tests can raise verbosity.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace freeflow {
+
+enum class LogLevel : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+/// Global minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view component, const std::string& message);
+
+/// RAII stream that emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace freeflow
+
+/// Usage: FF_LOG(info, "agent") << "channel up host=" << h;
+#define FF_LOG(level, component)                                          \
+  if (::freeflow::LogLevel::level < ::freeflow::log_level()) {            \
+  } else                                                                  \
+    ::freeflow::detail::LogLine(::freeflow::LogLevel::level, (component))

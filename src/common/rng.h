@@ -1,0 +1,69 @@
+// Deterministic PRNG (xoshiro256**). The whole simulation is reproducible
+// from a single seed; std::mt19937 is avoided in hot paths for speed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace freeflow {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDF00DULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // splitmix64 expansion of the seed into the full state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept { return next_u64() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Exponential variate with the given mean (> 0).
+  double exponential(double mean) noexcept {
+    double u = next_double();
+    if (u <= 0.0) u = 1e-18;  // avoid log(0)
+    return -mean * log_approx(u);
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) noexcept { return next_double() < p; }
+
+ private:
+  static double log_approx(double v) noexcept { return std::log(v); }
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace freeflow

@@ -1,0 +1,162 @@
+// Status / Result: lightweight recoverable-error handling for the FreeFlow
+// libraries. Programming errors (broken invariants) use FF_CHECK/assert and
+// terminate; expected runtime failures (connection refused, no such
+// container, permission denied, queue full) travel as Status.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace freeflow {
+
+/// Canonical error space, modeled after the POSIX/absl intersection that
+/// networking code actually needs.
+enum class Errc : std::uint8_t {
+  ok = 0,
+  invalid_argument,
+  not_found,
+  already_exists,
+  permission_denied,
+  resource_exhausted,
+  failed_precondition,
+  unavailable,
+  connection_reset,
+  connection_refused,
+  timed_out,
+  out_of_range,
+  would_block,
+  aborted,
+  unimplemented,
+  internal,
+};
+
+/// Human-readable name of an error code ("permission_denied").
+std::string_view errc_name(Errc code) noexcept;
+
+/// A success-or-error value. Cheap to copy on success (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+  Status(Errc code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() noexcept { return {}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == Errc::ok; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] Errc code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "permission_denied: container c3 not in trust group" or "ok".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Errc code_ = Errc::ok;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.to_string();
+}
+
+// Convenience factories, mirroring absl.
+inline Status ok_status() { return {}; }
+inline Status invalid_argument(std::string m) { return {Errc::invalid_argument, std::move(m)}; }
+inline Status not_found(std::string m) { return {Errc::not_found, std::move(m)}; }
+inline Status already_exists(std::string m) { return {Errc::already_exists, std::move(m)}; }
+inline Status permission_denied(std::string m) { return {Errc::permission_denied, std::move(m)}; }
+inline Status resource_exhausted(std::string m) { return {Errc::resource_exhausted, std::move(m)}; }
+inline Status failed_precondition(std::string m) { return {Errc::failed_precondition, std::move(m)}; }
+inline Status unavailable(std::string m) { return {Errc::unavailable, std::move(m)}; }
+inline Status connection_reset(std::string m) { return {Errc::connection_reset, std::move(m)}; }
+inline Status connection_refused(std::string m) { return {Errc::connection_refused, std::move(m)}; }
+inline Status timed_out(std::string m) { return {Errc::timed_out, std::move(m)}; }
+inline Status out_of_range(std::string m) { return {Errc::out_of_range, std::move(m)}; }
+inline Status would_block(std::string m) { return {Errc::would_block, std::move(m)}; }
+inline Status aborted(std::string m) { return {Errc::aborted, std::move(m)}; }
+inline Status unimplemented(std::string m) { return {Errc::unimplemented, std::move(m)}; }
+inline Status internal_error(std::string m) { return {Errc::internal, std::move(m)}; }
+
+/// A value-or-Status. `Result<T>` either holds a T (status OK) or an error
+/// Status. Accessing value() on an error aborts — callers must check.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like absl::StatusOr.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.is_ok()) {
+      status_ = internal_error("Result constructed from OK status without value");
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & {
+    check_has_value();
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    check_has_value();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    check_has_value();
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  void check_has_value() const;
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+[[noreturn]] void abort_with(const char* what, const Status& status);
+
+template <typename T>
+void Result<T>::check_has_value() const {
+  if (!value_.has_value()) {
+    abort_with("Result::value() called on error result", status_);
+  }
+}
+
+/// CHECK-style invariant enforcement for programming errors.
+#define FF_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::freeflow::abort_with("FF_CHECK failed: " #cond " at " __FILE__,     \
+                             ::freeflow::internal_error(#cond));            \
+    }                                                                       \
+  } while (0)
+
+/// Early-return on error Status.
+#define FF_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::freeflow::Status ff_status_ = (expr);   \
+    if (!ff_status_.is_ok()) return ff_status_; \
+  } while (0)
+
+}  // namespace freeflow

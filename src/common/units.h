@@ -1,0 +1,43 @@
+// Strong-ish unit helpers for the simulation: virtual time in nanoseconds,
+// sizes in bytes, rates in bits per second. Kept as thin wrappers over
+// integral types for zero-cost arithmetic in the event loop hot path.
+#pragma once
+
+#include <cstdint>
+
+namespace freeflow {
+
+/// Virtual simulation time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+/// A duration in virtual nanoseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration k_nanosecond = 1;
+constexpr SimDuration k_microsecond = 1'000;
+constexpr SimDuration k_millisecond = 1'000'000;
+constexpr SimDuration k_second = 1'000'000'000;
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * 1024ULL; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * 1024ULL * 1024ULL; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * 1024ULL * 1024ULL * 1024ULL; }
+
+/// Rates are expressed in bits per second.
+using BitsPerSecond = double;
+
+constexpr BitsPerSecond k_gbps = 1e9;
+constexpr BitsPerSecond k_mbps = 1e6;
+
+/// Time to serialize `bytes` at `rate` bits/sec, in virtual nanoseconds.
+constexpr SimDuration transmission_time(std::uint64_t bytes, BitsPerSecond rate) {
+  if (rate <= 0) return 0;
+  const double seconds = static_cast<double>(bytes) * 8.0 / rate;
+  return static_cast<SimDuration>(seconds * 1e9);
+}
+
+/// Gb/s delivered when `bytes` move in `elapsed` virtual nanoseconds.
+constexpr double throughput_gbps(std::uint64_t bytes, SimDuration elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / static_cast<double>(elapsed);
+}
+
+}  // namespace freeflow

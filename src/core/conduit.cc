@@ -1,0 +1,83 @@
+#include "core/conduit.h"
+
+#include "common/logging.h"
+
+namespace freeflow::core {
+
+void Conduit::send(const WireHeader& header, ByteSpan payload) {
+  if (closed_) return;  // teardown races with in-flight application sends
+  Buffer message = make_message(header, payload);
+  if (channel_ == nullptr) {
+    queue_.push_back(std::move(message));
+    return;
+  }
+  ++sent_;
+  const Status s = channel_->send(std::move(message));
+  if (!s.is_ok()) {
+    FF_LOG(warn, "core") << "conduit send failed: " << s;
+  }
+}
+
+void Conduit::attach_channel(agent::ChannelPtr channel) {
+  FF_CHECK(!closed_);
+  if (channel_ != nullptr) {
+    channel_->close();
+  }
+  channel_ = std::move(channel);
+  auto self = weak_from_this();
+  channel_->set_on_message([self](Buffer&& message) {
+    auto conduit = self.lock();
+    if (conduit == nullptr) return;
+    auto parsed = parse_message(message.view());
+    if (!parsed.is_ok()) {
+      FF_LOG(warn, "core") << "conduit got malformed message: " << parsed.status();
+      return;
+    }
+    ++conduit->received_;
+    if (conduit->on_message_) {
+      // Copy: handlers swap themselves during handshakes (cm_accept installs
+      // the QP/socket data handler from inside the setup handler).
+      auto handler = conduit->on_message_;
+      handler(parsed->header, parsed->payload);
+    }
+  });
+  channel_->set_on_space([self]() {
+    if (auto conduit = self.lock(); conduit && conduit->on_space_) conduit->on_space_();
+  });
+  drain();
+}
+
+void Conduit::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (channel_ != nullptr) {
+    channel_->close();
+    channel_ = nullptr;
+  }
+  queue_.clear();
+  if (on_closed_) {
+    auto handler = on_closed_;
+    handler();
+  }
+}
+
+void Conduit::mark_stale() {
+  if (channel_ != nullptr) {
+    channel_->close();
+    ++rebinds_;
+  }
+  channel_ = nullptr;
+}
+
+void Conduit::drain() {
+  while (!queue_.empty() && channel_ != nullptr) {
+    ++sent_;
+    const Status s = channel_->send(std::move(queue_.front()));
+    queue_.pop_front();
+    if (!s.is_ok()) {
+      FF_LOG(warn, "core") << "conduit drain failed: " << s;
+    }
+  }
+}
+
+}  // namespace freeflow::core

@@ -1,0 +1,91 @@
+// Conduit: the library's reliable, transport-agnostic message pipe to one
+// peer container. A conduit outlives the agent channel backing it: on
+// migration the channel is torn down and a new one (over the newly optimal
+// transport) is attached, while outbound messages queue — this is the
+// mechanism behind FreeFlow's transparent transport switching.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "agent/channel.h"
+#include "core/wire.h"
+#include "tcpstack/ip.h"
+
+namespace freeflow::core {
+
+class Conduit : public std::enable_shared_from_this<Conduit> {
+ public:
+  using MessageFn = std::function<void(const WireHeader&, ByteSpan)>;
+
+  Conduit(std::uint64_t token, orch::ContainerId self, orch::ContainerId peer,
+          tcp::Ipv4Addr peer_ip, std::uint16_t service_port, bool initiator)
+      : token_(token),
+        self_(self),
+        peer_(peer),
+        peer_ip_(peer_ip),
+        service_port_(service_port),
+        initiator_(initiator) {}
+
+  /// Sends one protocol message; queued while no channel is attached.
+  void send(const WireHeader& header, ByteSpan payload = {});
+
+  void set_on_message(MessageFn cb) { on_message_ = std::move(cb); }
+  void set_on_space(std::function<void()> cb) { on_space_ = std::move(cb); }
+
+  /// Attaches (or replaces) the backing channel and drains the queue.
+  void attach_channel(agent::ChannelPtr channel);
+
+  /// Migration: detach; sends queue until a new channel is attached.
+  void mark_stale();
+
+  /// Permanent teardown (peer stopped, self stopped): drops the channel,
+  /// discards queued messages and fires on_closed exactly once.
+  void close();
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+  void set_on_closed(std::function<void()> cb) { on_closed_ = std::move(cb); }
+
+  [[nodiscard]] bool live() const noexcept { return channel_ != nullptr; }
+  [[nodiscard]] bool writable() const noexcept {
+    return channel_ != nullptr && queue_.empty() && channel_->writable();
+  }
+  [[nodiscard]] orch::Transport transport() const noexcept {
+    return channel_ == nullptr ? orch::Transport::tcp_overlay : channel_->transport();
+  }
+
+  [[nodiscard]] std::uint64_t token() const noexcept { return token_; }
+  [[nodiscard]] orch::ContainerId self() const noexcept { return self_; }
+  [[nodiscard]] orch::ContainerId peer() const noexcept { return peer_; }
+  [[nodiscard]] tcp::Ipv4Addr peer_ip() const noexcept { return peer_ip_; }
+  [[nodiscard]] std::uint16_t service_port() const noexcept { return service_port_; }
+  [[nodiscard]] bool initiator() const noexcept { return initiator_; }
+
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t messages_received() const noexcept { return received_; }
+  [[nodiscard]] std::uint64_t rebinds() const noexcept { return rebinds_; }
+
+ private:
+  void drain();
+
+  std::uint64_t token_;
+  orch::ContainerId self_;
+  orch::ContainerId peer_;
+  tcp::Ipv4Addr peer_ip_;
+  std::uint16_t service_port_;
+  bool initiator_;
+
+  agent::ChannelPtr channel_;
+  std::deque<Buffer> queue_;
+  MessageFn on_message_;
+  std::function<void()> on_space_;
+  std::function<void()> on_closed_;
+  bool closed_ = false;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t rebinds_ = 0;
+};
+
+using ConduitPtr = std::shared_ptr<Conduit>;
+
+}  // namespace freeflow::core

@@ -1,0 +1,317 @@
+#include "core/container_net.h"
+
+#include "common/logging.h"
+#include "core/freeflow.h"
+
+namespace freeflow::core {
+
+ContainerNet::ContainerNet(FreeFlow& ff, orch::ContainerPtr container)
+    : ff_(ff), container_(std::move(container)) {}
+
+fabric::Host& ContainerNet::current_host() {
+  return ff_.orchestrator().cluster_orch().cluster().host(container_->host());
+}
+
+sim::EventLoop& ContainerNet::loop() { return ff_.loop(); }
+
+void ContainerNet::charge_post() {
+  fabric::Host& host = current_host();
+  host.cpu().submit(host.cost_model().rdma_post_ns, nullptr, &container_->account());
+}
+
+void ContainerNet::register_with_agent() {
+  auto self = weak_from_this();
+  ff_.agents().agent_on(container_->host())
+      .register_container(id(), [self](orch::ContainerId src, agent::ChannelPtr ch) {
+        if (auto net = self.lock()) net->on_incoming_channel(src, std::move(ch));
+      });
+}
+
+// ---------------------------------------------------------------- verbs API
+
+rdma::MrPtr ContainerNet::reg_mr(std::size_t length) {
+  const std::uint32_t mr_id = next_mr_++;
+  auto mr = std::make_shared<rdma::MemoryRegion>(mr_id, mr_id, length);
+  mrs_.emplace(mr_id, mr);
+  return mr;
+}
+
+rdma::MrPtr ContainerNet::mr(std::uint32_t mr_id) const {
+  auto it = mrs_.find(mr_id);
+  return it == mrs_.end() ? nullptr : it->second;
+}
+
+rdma::CqPtr ContainerNet::create_cq(std::size_t capacity) {
+  return std::make_shared<rdma::CompletionQueue>(capacity);
+}
+
+Status ContainerNet::listen_qp(std::uint16_t port, QpAcceptFn on_accept) {
+  auto [it, inserted] = qp_listeners_.emplace(port, std::move(on_accept));
+  (void)it;
+  if (!inserted) return already_exists("QP service port in use");
+  return ok_status();
+}
+
+Status ContainerNet::sock_listen(std::uint16_t port, SockAcceptFn on_accept) {
+  auto [it, inserted] = sock_listeners_.emplace(port, std::move(on_accept));
+  (void)it;
+  if (!inserted) return already_exists("socket port in use");
+  return ok_status();
+}
+
+// ---------------------------------------------------------- channel opening
+
+void ContainerNet::open_channel_for(ConduitPtr conduit, bool rebinding,
+                                    std::function<void(Status)> done) {
+  ff_.selector().decide(id(), conduit->peer(),
+                        [this, conduit, rebinding,
+                         done = std::move(done)](Result<orch::TransportDecision> d) mutable {
+    if (!d.is_ok()) {
+      done(d.status());
+      return;
+    }
+    if (d->transport == orch::Transport::tcp_overlay) {
+      // No trust: FreeFlow refuses to pierce isolation; such pairs use the
+      // plain overlay network instead of the library's fast channels.
+      done(permission_denied("peers do not trust each other; use overlay TCP"));
+      return;
+    }
+    ff_.agents().agent_on(container_->host())
+        .establish(id(), conduit->peer(), d->transport,
+                   [conduit, rebinding,
+                    done = std::move(done)](Result<agent::ChannelPtr> ch) mutable {
+      if (!ch.is_ok()) {
+        done(ch.status());
+        return;
+      }
+      if (rebinding) {
+        WireHeader h;
+        h.type = VMsg::rebind;
+        h.token = conduit->token();
+        // The rebind must be the first message on the fresh channel.
+        (*ch)->send(make_message(h));
+      }
+      conduit->attach_channel(std::move(ch.value()));
+      done(ok_status());
+    });
+  });
+}
+
+void ContainerNet::connect_qp(tcp::Ipv4Addr peer_ip, std::uint16_t port,
+                              rdma::CqPtr send_cq, rdma::CqPtr recv_cq,
+                              QpConnectFn done) {
+  auto peer = ff_.orchestrator().resolve_ip(peer_ip);
+  if (!peer.is_ok()) {
+    loop().schedule(0, [done = std::move(done), s = peer.status()]() { done(s); });
+    return;
+  }
+  auto conduit = std::make_shared<Conduit>(ff_.next_token(), id(), *peer, peer_ip,
+                                           port, /*initiator=*/true);
+  open_channel_for(conduit, /*rebinding=*/false,
+                   [this, conduit, port, send_cq, recv_cq,
+                    done = std::move(done)](Status st) mutable {
+    if (!st.is_ok()) {
+      done(st);
+      return;
+    }
+    // Await cm_accept / cm_reject.
+    conduit->set_on_message([this, conduit, send_cq, recv_cq,
+                             done = std::move(done)](const WireHeader& h, ByteSpan) mutable {
+      if (h.type == VMsg::cm_accept) {
+        auto qp = std::make_shared<VirtualQp>(*this, conduit, send_cq, recv_cq);
+        qp->bind();
+        conduits_.emplace(conduit->token(), conduit);
+        done(qp);
+      } else {
+        done(connection_refused("peer rejected QP on port"));
+      }
+    });
+    WireHeader h;
+    h.type = VMsg::cm_connect;
+    h.port = port;
+    h.token = conduit->token();
+    conduit->send(h);
+  });
+}
+
+void ContainerNet::sock_connect(tcp::Ipv4Addr peer_ip, std::uint16_t port,
+                                SockConnectFn done) {
+  auto peer = ff_.orchestrator().resolve_ip(peer_ip);
+  if (!peer.is_ok()) {
+    loop().schedule(0, [done = std::move(done), s = peer.status()]() { done(s); });
+    return;
+  }
+  auto conduit = std::make_shared<Conduit>(ff_.next_token(), id(), *peer, peer_ip,
+                                           port, /*initiator=*/true);
+  open_channel_for(conduit, /*rebinding=*/false,
+                   [this, conduit, port, done = std::move(done)](Status st) mutable {
+    if (!st.is_ok()) {
+      done(st);
+      return;
+    }
+    conduit->set_on_message([this, conduit,
+                             done = std::move(done)](const WireHeader& h, ByteSpan) mutable {
+      if (h.type == VMsg::sock_accept) {
+        auto sock = std::make_shared<FlowSocket>(*this, conduit);
+        sock->bind();
+        conduits_.emplace(conduit->token(), conduit);
+        done(sock);
+      } else {
+        done(connection_refused("peer rejected socket on port"));
+      }
+    });
+    WireHeader h;
+    h.type = VMsg::sock_connect;
+    h.port = port;
+    h.token = conduit->token();
+    conduit->send(h);
+  });
+}
+
+// ---------------------------------------------------------- incoming side
+
+void ContainerNet::on_incoming_channel(orch::ContainerId src, agent::ChannelPtr channel) {
+  // Tap the first message to route the channel (setup vs rebind).
+  auto self = weak_from_this();
+  auto raw = channel.get();
+  raw->set_on_message([self, src, channel](Buffer&& message) {
+    auto net = self.lock();
+    if (net == nullptr) return;
+    auto parsed = parse_message(message.view());
+    if (!parsed.is_ok()) {
+      FF_LOG(warn, "core") << "bad first message on incoming channel";
+      return;
+    }
+    net->handle_first_message(src, channel, parsed->header);
+  });
+}
+
+void ContainerNet::handle_first_message(orch::ContainerId src, agent::ChannelPtr channel,
+                                        const WireHeader& header) {
+  switch (header.type) {
+    case VMsg::cm_connect: {
+      auto lit = qp_listeners_.find(header.port);
+      WireHeader reply;
+      reply.token = header.token;
+      if (lit == qp_listeners_.end()) {
+        reply.type = VMsg::cm_reject;
+        channel->send(make_message(reply));
+        return;
+      }
+      auto c = ff_.orchestrator().cluster_orch().container(src);
+      auto conduit = std::make_shared<Conduit>(
+          header.token, id(), src, c ? c->ip() : tcp::Ipv4Addr{}, header.port,
+          /*initiator=*/false);
+      conduit->attach_channel(std::move(channel));
+      auto qp = std::make_shared<VirtualQp>(*this, conduit, create_cq(), create_cq());
+      qp->bind();
+      conduits_.emplace(conduit->token(), conduit);
+      reply.type = VMsg::cm_accept;
+      conduit->send(reply);
+      lit->second(qp);
+      return;
+    }
+    case VMsg::sock_connect: {
+      auto lit = sock_listeners_.find(header.port);
+      WireHeader reply;
+      reply.token = header.token;
+      if (lit == sock_listeners_.end()) {
+        reply.type = VMsg::sock_reject;
+        channel->send(make_message(reply));
+        return;
+      }
+      auto c = ff_.orchestrator().cluster_orch().container(src);
+      auto conduit = std::make_shared<Conduit>(
+          header.token, id(), src, c ? c->ip() : tcp::Ipv4Addr{}, header.port,
+          /*initiator=*/false);
+      conduit->attach_channel(std::move(channel));
+      auto sock = std::make_shared<FlowSocket>(*this, conduit);
+      sock->bind();
+      conduits_.emplace(conduit->token(), conduit);
+      reply.type = VMsg::sock_accept;
+      conduit->send(reply);
+      lit->second(sock);
+      return;
+    }
+    case VMsg::rebind: {
+      auto it = conduits_.find(header.token);
+      if (it == conduits_.end()) {
+        FF_LOG(warn, "core") << "rebind for unknown conduit " << header.token;
+        return;
+      }
+      it->second->attach_channel(std::move(channel));
+      return;
+    }
+    default:
+      FF_LOG(warn, "core") << "unexpected first message type "
+                           << static_cast<int>(header.type);
+  }
+}
+
+// -------------------------------------------------------------- migration
+
+void ContainerNet::handle_self_stopped() {
+  ff_.agents().agent_on(container_->host()).unregister_container(id());
+  for (auto& [token, conduit] : conduits_) conduit->close();
+  conduits_.clear();
+}
+
+void ContainerNet::handle_peer_stopped(orch::ContainerId peer) {
+  for (auto it = conduits_.begin(); it != conduits_.end();) {
+    if (it->second->peer() == peer) {
+      it->second->close();
+      it = conduits_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<ContainerNet::ConnectionInfo> ContainerNet::connections() const {
+  std::vector<ConnectionInfo> out;
+  out.reserve(conduits_.size());
+  for (const auto& [token, c] : conduits_) {
+    if (c->closed()) continue;
+    out.push_back(ConnectionInfo{c->peer(), c->peer_ip(), c->transport(),
+                                 c->initiator(), c->messages_sent(),
+                                 c->messages_received(), c->rebinds()});
+  }
+  return out;
+}
+
+bool ContainerNet::has_conduit_to(orch::ContainerId peer) const {
+  for (const auto& [token, c] : conduits_) {
+    if (c->peer() == peer) return true;
+  }
+  return false;
+}
+
+void ContainerNet::handle_self_moved() {
+  register_with_agent();
+  for (auto& [token, conduit] : conduits_) {
+    conduit->mark_stale();
+    if (conduit->initiator()) {
+      open_channel_for(conduit, /*rebinding=*/true, [](Status st) {
+        if (!st.is_ok()) {
+          FF_LOG(warn, "core") << "re-bind after self-move failed: " << st;
+        }
+      });
+    }
+  }
+}
+
+void ContainerNet::handle_peer_moved(orch::ContainerId peer) {
+  for (auto& [token, conduit] : conduits_) {
+    if (conduit->peer() != peer) continue;
+    conduit->mark_stale();
+    if (conduit->initiator()) {
+      open_channel_for(conduit, /*rebinding=*/true, [](Status st) {
+        if (!st.is_ok()) {
+          FF_LOG(warn, "core") << "re-bind after peer-move failed: " << st;
+        }
+      });
+    }
+  }
+}
+
+}  // namespace freeflow::core

@@ -1,0 +1,116 @@
+// ContainerNet: the per-container instance of FreeFlow's network library —
+// the paper's "customized network library supporting standard network APIs"
+// plus the virtual RDMA NIC. It owns the container's MR table, its QP/socket
+// listeners, and one conduit per peer connection; it consults the transport
+// selector, asks the host agent for channels, and transparently re-binds
+// everything when the orchestrator reports a migration.
+#pragma once
+
+#include <functional>
+#include <vector>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "core/conduit.h"
+#include "core/socket.h"
+#include "core/vqp.h"
+#include "orchestrator/network_orchestrator.h"
+#include "rdma/verbs.h"
+
+namespace freeflow::core {
+
+class FreeFlow;
+
+class ContainerNet : public std::enable_shared_from_this<ContainerNet> {
+ public:
+  using QpAcceptFn = std::function<void(VirtualQpPtr)>;
+  using QpConnectFn = std::function<void(Result<VirtualQpPtr>)>;
+  using SockAcceptFn = std::function<void(FlowSocketPtr)>;
+  using SockConnectFn = std::function<void(Result<FlowSocketPtr>)>;
+
+  ContainerNet(FreeFlow& ff, orch::ContainerPtr container);
+
+  ContainerNet(const ContainerNet&) = delete;
+  ContainerNet& operator=(const ContainerNet&) = delete;
+
+  // ---- verbs surface ----------------------------------------------------
+  /// Registers container memory; the returned MR's rkey names it to peers.
+  rdma::MrPtr reg_mr(std::size_t length);
+  [[nodiscard]] rdma::MrPtr mr(std::uint32_t id) const;
+  rdma::CqPtr create_cq(std::size_t capacity = 4096);
+
+  /// CM-style rendezvous: accept verbs QPs on a service port.
+  Status listen_qp(std::uint16_t port, QpAcceptFn on_accept);
+  void connect_qp(tcp::Ipv4Addr peer_ip, std::uint16_t port, rdma::CqPtr send_cq,
+                  rdma::CqPtr recv_cq, QpConnectFn done);
+
+  // ---- socket surface ---------------------------------------------------
+  Status sock_listen(std::uint16_t port, SockAcceptFn on_accept);
+  void sock_connect(tcp::Ipv4Addr peer_ip, std::uint16_t port, SockConnectFn done);
+
+  // ---- identity / plumbing ----------------------------------------------
+  [[nodiscard]] orch::ContainerId id() const noexcept { return container_->id(); }
+  [[nodiscard]] tcp::Ipv4Addr ip() const noexcept { return container_->ip(); }
+  [[nodiscard]] const std::string& name() const noexcept { return container_->name(); }
+  [[nodiscard]] orch::ContainerPtr container() const noexcept { return container_; }
+  [[nodiscard]] FreeFlow& freeflow() noexcept { return ff_; }
+  [[nodiscard]] fabric::Host& current_host();
+  [[nodiscard]] sim::EventLoop& loop();
+
+  /// Charges one verb-post worth of CPU to this container.
+  void charge_post();
+
+  // ---- migration / teardown (driven by FreeFlow) -------------------------
+  void handle_self_moved();
+  void handle_peer_moved(orch::ContainerId peer);
+  /// The container stopped: unregister and permanently close every conduit.
+  void handle_self_stopped();
+  /// A peer stopped: close conduits to it (sockets fire on_close, QPs err).
+  void handle_peer_stopped(orch::ContainerId peer);
+  [[nodiscard]] bool has_conduit_to(orch::ContainerId peer) const;
+
+  [[nodiscard]] std::size_t conduit_count() const noexcept { return conduits_.size(); }
+
+  /// Introspection: one row per open conduit (ops tooling / examples).
+  struct ConnectionInfo {
+    orch::ContainerId peer;
+    tcp::Ipv4Addr peer_ip;
+    orch::Transport transport;
+    bool initiator;
+    std::uint64_t messages_sent;
+    std::uint64_t messages_received;
+    std::uint64_t rebinds;
+  };
+  [[nodiscard]] std::vector<ConnectionInfo> connections() const;
+
+  /// FreeFlow-internal: register with the (current) host agent.
+  void register_with_agent();
+
+ private:
+  friend class VirtualQp;
+  friend class FlowSocket;
+
+  void on_incoming_channel(orch::ContainerId src, agent::ChannelPtr channel);
+  void handle_first_message(orch::ContainerId src, agent::ChannelPtr channel,
+                            const WireHeader& header);
+
+  /// Resolves, decides, establishes and attaches a channel to `conduit`;
+  /// when `rebinding`, the first message on the new channel is a rebind.
+  void open_channel_for(ConduitPtr conduit, bool rebinding,
+                        std::function<void(Status)> done);
+
+  FreeFlow& ff_;
+  orch::ContainerPtr container_;
+
+  std::unordered_map<std::uint32_t, rdma::MrPtr> mrs_;
+  std::uint32_t next_mr_ = 1;
+
+  std::map<std::uint16_t, QpAcceptFn> qp_listeners_;
+  std::map<std::uint16_t, SockAcceptFn> sock_listeners_;
+  std::unordered_map<std::uint64_t, ConduitPtr> conduits_;
+};
+
+using ContainerNetPtr = std::shared_ptr<ContainerNet>;
+
+}  // namespace freeflow::core

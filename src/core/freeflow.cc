@@ -1,0 +1,50 @@
+#include "core/freeflow.h"
+
+namespace freeflow::core {
+
+FreeFlow::FreeFlow(orch::NetworkOrchestrator& orchestrator, agent::AgentConfig config)
+    : orchestrator_(orchestrator),
+      agents_(orchestrator, config),
+      selector_(orchestrator, agents_.loop()) {
+  // Route migration notifications to the affected library instances.
+  orchestrator_.subscribe_moves([this](const orch::Container& moved) {
+    for (auto& [cid, net] : nets_) {
+      if (cid == moved.id()) {
+        net->handle_self_moved();
+      } else if (net->has_conduit_to(moved.id())) {
+        net->handle_peer_moved(moved.id());
+      }
+    }
+  });
+  // Container stops tear their connections down everywhere.
+  orchestrator_.cluster_orch().on_stopped([this](const orch::Container& stopped) {
+    auto it = nets_.find(stopped.id());
+    if (it != nets_.end()) {
+      it->second->handle_self_stopped();
+      nets_.erase(it);
+    }
+    for (auto& [cid, net] : nets_) {
+      if (net->has_conduit_to(stopped.id())) net->handle_peer_stopped(stopped.id());
+    }
+  });
+}
+
+Result<ContainerNetPtr> FreeFlow::attach(orch::ContainerId id) {
+  if (auto it = nets_.find(id); it != nets_.end()) return it->second;
+  auto container = orchestrator_.cluster_orch().container(id);
+  if (container == nullptr) return not_found("no container " + std::to_string(id));
+  if (container->state() != orch::ContainerState::running) {
+    return failed_precondition("container not running");
+  }
+  auto net = std::make_shared<ContainerNet>(*this, container);
+  net->register_with_agent();
+  nets_.emplace(id, net);
+  return net;
+}
+
+ContainerNetPtr FreeFlow::net(orch::ContainerId id) const {
+  auto it = nets_.find(id);
+  return it == nets_.end() ? nullptr : it->second;
+}
+
+}  // namespace freeflow::core

@@ -1,0 +1,46 @@
+// FreeFlow: the deployment-wide entry point. Wires the network
+// orchestrator, per-host agents, the transport selector and per-container
+// library instances together. This is the object an operator (or an
+// example/benchmark) constructs once per cluster.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "agent/agent.h"
+#include "core/container_net.h"
+#include "core/selector.h"
+
+namespace freeflow::core {
+
+class FreeFlow {
+ public:
+  explicit FreeFlow(orch::NetworkOrchestrator& orchestrator,
+                    agent::AgentConfig config = {});
+
+  FreeFlow(const FreeFlow&) = delete;
+  FreeFlow& operator=(const FreeFlow&) = delete;
+
+  /// Attaches the FreeFlow library to a running container: starts the host
+  /// agent if needed and registers the container with it.
+  Result<ContainerNetPtr> attach(orch::ContainerId id);
+
+  /// The library instance of an attached container.
+  [[nodiscard]] ContainerNetPtr net(orch::ContainerId id) const;
+
+  [[nodiscard]] orch::NetworkOrchestrator& orchestrator() noexcept { return orchestrator_; }
+  [[nodiscard]] agent::AgentFabric& agents() noexcept { return agents_; }
+  [[nodiscard]] TransportSelector& selector() noexcept { return selector_; }
+  [[nodiscard]] sim::EventLoop& loop() noexcept { return agents_.loop(); }
+
+  [[nodiscard]] std::uint64_t next_token() noexcept { return next_token_++; }
+
+ private:
+  orch::NetworkOrchestrator& orchestrator_;
+  agent::AgentFabric agents_;
+  TransportSelector selector_;
+  std::unordered_map<orch::ContainerId, ContainerNetPtr> nets_;
+  std::uint64_t next_token_ = 1;
+};
+
+}  // namespace freeflow::core

@@ -1,0 +1,84 @@
+// Minimal MPI-flavored API on top of FreeFlow (paper §4.2: "there are
+// already libraries translating MPI to verbs semantics"; we layer the MPI
+// runtime on the FreeFlow socket/verbs library the same way). Point-to-point
+// send/recv with tag matching plus the collectives the example workloads
+// need (barrier, broadcast, allreduce).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/container_net.h"
+
+namespace freeflow::core {
+
+class MpiEndpoint : public std::enable_shared_from_this<MpiEndpoint> {
+ public:
+  using ReadyFn = std::function<void(Status)>;
+  using RecvFn = std::function<void(Buffer&&)>;
+
+  /// `members[i]` is the overlay IP of rank i; `net` is this rank's library.
+  MpiEndpoint(ContainerNetPtr net, int rank, std::vector<tcp::Ipv4Addr> members,
+              std::uint16_t port = 29500);
+
+  /// Binds the MPI service port; call on every rank before communicating.
+  Status start();
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(members_.size()); }
+
+  /// Tagged point-to-point. Tags >= k_reserved_tag_base are reserved.
+  void send(int dst, std::uint32_t tag, Buffer data);
+  void recv(int src, std::uint32_t tag, RecvFn cb);
+
+  /// Collectives (root = rank 0 unless stated). Each call site must issue
+  /// collectives in the same order on every rank, as in MPI.
+  void barrier(std::function<void()> done);
+  void broadcast(int root, Buffer data, RecvFn done);
+  void allreduce_sum(std::vector<double> values,
+                     std::function<void(std::vector<double>)> done);
+  /// Root receives every rank's contribution (indexed by rank); other ranks
+  /// get an empty vector.
+  void gather(int root, Buffer data, std::function<void(std::vector<Buffer>)> done);
+  /// Root distributes parts[i] to rank i (parts.size() must equal size()).
+  void scatter(int root, std::vector<Buffer> parts, RecvFn done);
+
+  static constexpr std::uint32_t k_reserved_tag_base = 0xFFFF0000;
+
+ private:
+  struct MatchKey {
+    int src;
+    std::uint32_t tag;
+    auto operator<=>(const MatchKey&) const = default;
+  };
+
+  void with_socket(int dst, std::function<void(Result<FlowSocketPtr>)> cb);
+  void dispatch(int src, std::uint32_t tag, Buffer&& payload);
+  /// Wires a socket's stream into the record parser/demux.
+  void adopt_socket(FlowSocketPtr sock);
+
+  ContainerNetPtr net_;
+  int rank_;
+  std::vector<tcp::Ipv4Addr> members_;
+  std::uint16_t port_;
+
+  std::map<int, FlowSocketPtr> sockets_;
+  std::vector<FlowSocketPtr> accepted_;  ///< keeps inbound sockets alive
+  std::map<int, std::vector<std::function<void(Result<FlowSocketPtr>)>>> connecting_;
+
+  std::map<MatchKey, std::deque<Buffer>> unexpected_;
+  std::map<MatchKey, std::deque<RecvFn>> waiting_;
+
+  std::uint32_t barrier_round_ = 0;
+  std::uint32_t bcast_round_ = 0;
+  std::uint32_t reduce_round_ = 0;
+  std::uint32_t gather_round_ = 0;
+  std::uint32_t scatter_round_ = 0;
+};
+
+using MpiEndpointPtr = std::shared_ptr<MpiEndpoint>;
+
+}  // namespace freeflow::core

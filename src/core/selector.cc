@@ -1,0 +1,48 @@
+#include "core/selector.h"
+
+namespace freeflow::core {
+
+namespace {
+std::uint64_t pair_key(orch::ContainerId a, orch::ContainerId b) noexcept {
+  return (std::uint64_t{a} << 32) | b;
+}
+}  // namespace
+
+TransportSelector::TransportSelector(orch::NetworkOrchestrator& orchestrator,
+                                     sim::EventLoop& loop)
+    : orchestrator_(orchestrator), loop_(loop) {
+  orchestrator_.subscribe_moves([this](const orch::Container& c) { invalidate(c.id()); });
+}
+
+void TransportSelector::decide(orch::ContainerId src, orch::ContainerId dst,
+                               std::function<void(Result<orch::TransportDecision>)> cb) {
+  const std::uint64_t key = pair_key(src, dst);
+  auto it = cache_.find(key);
+  if (it != cache_.end() && it->second.fresh_until >= loop_.now()) {
+    ++hits_;
+    loop_.schedule(0, [cb = std::move(cb), d = it->second.decision]() { cb(d); });
+    return;
+  }
+  ++misses_;
+  const SimDuration rpc =
+      orchestrator_.cluster_orch().cluster().cost_model().orchestrator_rpc_ns;
+  const SimDuration ttl =
+      orchestrator_.cluster_orch().cluster().cost_model().location_cache_ttl_ns;
+  loop_.schedule(rpc, [this, src, dst, key, ttl, cb = std::move(cb)]() {
+    auto decision = orchestrator_.decide(src, dst);
+    if (decision.is_ok()) {
+      cache_[key] = CacheEntry{*decision, loop_.now() + ttl};
+    }
+    cb(std::move(decision));
+  });
+}
+
+void TransportSelector::invalidate(orch::ContainerId container) {
+  std::erase_if(cache_, [container](const auto& kv) {
+    const std::uint64_t key = kv.first;
+    return static_cast<orch::ContainerId>(key >> 32) == container ||
+           static_cast<orch::ContainerId>(key & 0xFFFFFFFFULL) == container;
+  });
+}
+
+}  // namespace freeflow::core

@@ -1,0 +1,44 @@
+// Transport selector: the library-side cache over the network
+// orchestrator's location/decision service. The library "keeps pulling the
+// newest container location information from the network orchestrator"
+// (paper §3.2); we cache decisions with a TTL and invalidate eagerly on
+// move notifications, so steady-state traffic pays no control-plane RTT.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "orchestrator/network_orchestrator.h"
+#include "sim/event_loop.h"
+
+namespace freeflow::core {
+
+class TransportSelector {
+ public:
+  TransportSelector(orch::NetworkOrchestrator& orchestrator, sim::EventLoop& loop);
+
+  /// Decides the transport from `src` to `dst`. Cached answers return after
+  /// one scheduling quantum; misses pay the orchestrator RPC latency.
+  void decide(orch::ContainerId src, orch::ContainerId dst,
+              std::function<void(Result<orch::TransportDecision>)> cb);
+
+  /// Drops the cached decision for any pair involving `container`.
+  void invalidate(orch::ContainerId container);
+
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const noexcept { return misses_; }
+
+ private:
+  struct CacheEntry {
+    orch::TransportDecision decision;
+    SimTime fresh_until = 0;
+  };
+
+  orch::NetworkOrchestrator& orchestrator_;
+  sim::EventLoop& loop_;
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace freeflow::core

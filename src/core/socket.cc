@@ -1,0 +1,64 @@
+#include "core/socket.h"
+
+#include <algorithm>
+
+#include "core/container_net.h"
+
+namespace freeflow::core {
+
+FlowSocket::FlowSocket(ContainerNet& net, ConduitPtr conduit)
+    : net_(net), conduit_(std::move(conduit)) {}
+
+void FlowSocket::bind() {
+  auto self = weak_from_this();
+  conduit_->set_on_message([self](const WireHeader& h, ByteSpan payload) {
+    if (auto sock = self.lock()) sock->handle_message(h, payload);
+  });
+  conduit_->set_on_closed([self]() {
+    auto sock = self.lock();
+    if (sock == nullptr || !sock->open_) return;
+    sock->open_ = false;
+    if (sock->on_close_) sock->on_close_();
+  });
+}
+
+void FlowSocket::set_on_space(VoidFn cb) { conduit_->set_on_space(std::move(cb)); }
+
+Status FlowSocket::send(Buffer data) {
+  if (!open_) return failed_precondition("socket closed");
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t n = std::min(k_chunk, data.size() - offset);
+    WireHeader h;
+    h.type = VMsg::sock_data;
+    conduit_->send(h, ByteSpan{data.data() + offset, n});
+    offset += n;
+  }
+  bytes_sent_ += data.size();
+  return ok_status();
+}
+
+void FlowSocket::close() {
+  if (!open_) return;
+  WireHeader h;
+  h.type = VMsg::sock_fin;
+  conduit_->send(h);
+  open_ = false;
+}
+
+void FlowSocket::handle_message(const WireHeader& h, ByteSpan payload) {
+  switch (h.type) {
+    case VMsg::sock_data:
+      bytes_received_ += payload.size();
+      if (on_data_) on_data_(Buffer(payload.data(), payload.size()));
+      return;
+    case VMsg::sock_fin:
+      open_ = false;
+      if (on_close_) on_close_();
+      return;
+    default:
+      break;  // handshake leftovers are ignored
+  }
+}
+
+}  // namespace freeflow::core

@@ -1,0 +1,54 @@
+#include "core/wire.h"
+
+#include <cstring>
+
+namespace freeflow::core {
+
+void WireHeader::encode(std::byte* out) const noexcept {
+  std::memset(out, 0, k_size);
+  out[0] = static_cast<std::byte>(type);
+  std::memcpy(out + 2, &port, 2);
+  std::memcpy(out + 4, &mr, 4);
+  std::memcpy(out + 8, &len, 4);
+  std::memcpy(out + 16, &id, 8);
+  std::memcpy(out + 24, &offset, 8);
+  std::memcpy(out + 32, &token, 8);
+}
+
+WireHeader WireHeader::decode(const std::byte* in) noexcept {
+  WireHeader h;
+  h.type = static_cast<VMsg>(in[0]);
+  std::memcpy(&h.port, in + 2, 2);
+  std::memcpy(&h.mr, in + 4, 4);
+  std::memcpy(&h.len, in + 8, 4);
+  std::memcpy(&h.id, in + 16, 8);
+  std::memcpy(&h.offset, in + 24, 8);
+  std::memcpy(&h.token, in + 32, 8);
+  return h;
+}
+
+Buffer make_message(const WireHeader& header, ByteSpan payload) {
+  WireHeader h = header;
+  h.len = static_cast<std::uint32_t>(payload.size());
+  Buffer out(WireHeader::k_size + payload.size());
+  h.encode(out.data());
+  if (!payload.empty()) {
+    std::memcpy(out.data() + WireHeader::k_size, payload.data(), payload.size());
+  }
+  return out;
+}
+
+Result<ParsedMessage> parse_message(ByteSpan message) {
+  if (message.size() < WireHeader::k_size) {
+    return invalid_argument("freeflow message shorter than header");
+  }
+  ParsedMessage out;
+  out.header = WireHeader::decode(message.data());
+  out.payload = message.subspan(WireHeader::k_size);
+  if (out.payload.size() != out.header.len) {
+    return invalid_argument("freeflow message length mismatch");
+  }
+  return out;
+}
+
+}  // namespace freeflow::core

@@ -1,0 +1,45 @@
+// Builds the simulated datacenter: a set of hosts hanging off one ToR
+// switch, all driven by a single event loop and cost model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/host.h"
+#include "fabric/switch.h"
+#include "sim/cost_model.h"
+#include "sim/event_loop.h"
+
+namespace freeflow::fabric {
+
+class Cluster {
+ public:
+  explicit Cluster(sim::CostModel model = {});
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Adds a host with the given NIC capabilities; returns it.
+  Host& add_host(const std::string& name, NicCapabilities nic_caps = {});
+
+  /// Adds `count` identical hosts named "<prefix>0..n".
+  void add_hosts(int count, const std::string& prefix = "host",
+                 NicCapabilities nic_caps = {});
+
+  [[nodiscard]] Host& host(HostId id);
+  [[nodiscard]] const Host& host(HostId id) const;
+  [[nodiscard]] std::size_t host_count() const noexcept { return hosts_.size(); }
+
+  [[nodiscard]] sim::EventLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] const sim::CostModel& cost_model() const noexcept { return model_; }
+  [[nodiscard]] Switch& tor() noexcept { return switch_; }
+
+ private:
+  sim::CostModel model_;
+  sim::EventLoop loop_;
+  Switch switch_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+};
+
+}  // namespace freeflow::fabric

@@ -1,0 +1,28 @@
+#include "fabric/control.h"
+
+namespace freeflow::fabric {
+
+void install_control_rx(Host& host) {
+  host.nic().set_rx_handler(PacketKind::control, [](PacketPtr packet) {
+    auto body = body_as<ControlBody>(packet);
+    if (body->on_arrival) body->on_arrival();
+  });
+}
+
+void send_control(Host& src, HostId dst_host, std::uint32_t wire_bytes,
+                  std::function<void()> on_arrival) {
+  if (dst_host == src.id()) {
+    src.loop().schedule(1 * k_microsecond, std::move(on_arrival));
+    return;
+  }
+  auto body = std::make_shared<ControlBody>();
+  body->on_arrival = std::move(on_arrival);
+  auto packet = std::make_shared<Packet>();
+  packet->dst_host = dst_host;
+  packet->wire_bytes = wire_bytes;
+  packet->kind = PacketKind::control;
+  packet->body = std::move(body);
+  src.nic().send(std::move(packet));
+}
+
+}  // namespace freeflow::fabric

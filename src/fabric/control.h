@@ -1,0 +1,27 @@
+// Generic control-plane messaging over the fabric: small packets that carry
+// a closure to run on arrival. Used by the BGP-lite route exchange and the
+// orchestrator RPCs; they share links with data traffic, so control-plane
+// latency is affected by (and visible in) the simulation.
+#pragma once
+
+#include <functional>
+
+#include "fabric/host.h"
+#include "fabric/packet.h"
+
+namespace freeflow::fabric {
+
+struct ControlBody final : PacketBody {
+  std::function<void()> on_arrival;
+};
+
+/// Installs the control-packet receive handler on a host (idempotent).
+void install_control_rx(Host& host);
+
+/// Sends a control message of `wire_bytes` from `src` to `dst_host`;
+/// `on_arrival` runs at the destination. Same-host messages still pay the
+/// local IPC cost via the event loop (one scheduling quantum).
+void send_control(Host& src, HostId dst_host, std::uint32_t wire_bytes,
+                  std::function<void()> on_arrival);
+
+}  // namespace freeflow::fabric

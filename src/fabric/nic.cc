@@ -1,0 +1,52 @@
+#include "fabric/nic.h"
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "fabric/switch.h"
+
+namespace freeflow::fabric {
+
+Nic::Nic(sim::EventLoop& loop, const sim::CostModel& model, HostId host,
+         NicCapabilities caps)
+    : loop_(loop),
+      model_(model),
+      host_(host),
+      caps_(caps),
+      processor_(loop, "nic_proc", model.nic_proc_rate, 1),
+      tx_link_(loop, "nic_tx", caps.line_rate_gbps * 1e9 / 8.0, 1) {}
+
+void Nic::send(PacketPtr packet) {
+  FF_CHECK(packet != nullptr);
+  packet->src_host = host_;
+  ++tx_packets_;
+  tx_bytes_ += packet->wire_bytes;
+
+  if (packet->dst_host == host_) {
+    // NIC-internal hairpin: serialization at line rate, no switch traversal.
+    tx_link_.submit(static_cast<double>(packet->wire_bytes),
+                    [this, packet]() { deliver(packet); });
+    return;
+  }
+  FF_CHECK(tor_ != nullptr);
+  tx_link_.submit(static_cast<double>(packet->wire_bytes),
+                  [this, packet]() { tor_->forward(packet); },
+                  /*account=*/nullptr, model_.link_prop_ns);
+}
+
+void Nic::set_rx_handler(PacketKind kind, std::function<void(PacketPtr)> handler) {
+  rx_handlers_[static_cast<std::size_t>(kind)] = std::move(handler);
+}
+
+void Nic::deliver(PacketPtr packet) {
+  ++rx_packets_;
+  rx_bytes_ += packet->wire_bytes;
+  auto& handler = rx_handlers_[static_cast<std::size_t>(packet->kind)];
+  if (handler) {
+    handler(std::move(packet));
+  } else {
+    FF_LOG(warn, "nic") << "host " << host_ << " dropped packet of kind "
+                        << static_cast<int>(packet->kind) << " (no handler)";
+  }
+}
+
+}  // namespace freeflow::fabric

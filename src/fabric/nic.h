@@ -1,0 +1,78 @@
+// A physical NIC: line-rate serialization, an on-board processor (used by
+// the RDMA engine), capability flags the network orchestrator reads, and a
+// receive demultiplexer keyed by packet kind.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "fabric/packet.h"
+#include "sim/cost_model.h"
+#include "sim/event_loop.h"
+#include "sim/resource.h"
+
+namespace freeflow::fabric {
+
+class Switch;
+
+struct NicCapabilities {
+  bool rdma = true;
+  bool dpdk = true;
+  double line_rate_gbps = 40.0;
+};
+
+class Nic {
+ public:
+  Nic(sim::EventLoop& loop, const sim::CostModel& model, HostId host,
+      NicCapabilities caps);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  [[nodiscard]] HostId host() const noexcept { return host_; }
+  [[nodiscard]] const NicCapabilities& capabilities() const noexcept { return caps_; }
+
+  /// The on-NIC processor; the RDMA engine charges per-packet work here.
+  [[nodiscard]] sim::Resource& processor() noexcept { return processor_; }
+  [[nodiscard]] const sim::Resource& processor() const noexcept { return processor_; }
+
+  /// Transmit queue (line-rate serialization).
+  [[nodiscard]] sim::Resource& tx_link() noexcept { return tx_link_; }
+
+  /// Attaches this NIC to the ToR switch. Must be called before send().
+  void attach(Switch* tor) noexcept { tor_ = tor; }
+
+  /// Serializes and hands the packet to the switch (or loops back if the
+  /// destination is this host — e.g. an RDMA hairpin through the NIC).
+  void send(PacketPtr packet);
+
+  /// Registers the receive handler for one packet kind.
+  void set_rx_handler(PacketKind kind, std::function<void(PacketPtr)> handler);
+
+  /// Called by the switch (or loopback) when a packet arrives.
+  void deliver(PacketPtr packet);
+
+  [[nodiscard]] std::uint64_t tx_packets() const noexcept { return tx_packets_; }
+  [[nodiscard]] std::uint64_t rx_packets() const noexcept { return rx_packets_; }
+  [[nodiscard]] std::uint64_t tx_bytes() const noexcept { return tx_bytes_; }
+  [[nodiscard]] std::uint64_t rx_bytes() const noexcept { return rx_bytes_; }
+
+ private:
+  sim::EventLoop& loop_;
+  const sim::CostModel& model_;
+  HostId host_;
+  NicCapabilities caps_;
+  sim::Resource processor_;
+  sim::Resource tx_link_;
+  Switch* tor_ = nullptr;
+  std::array<std::function<void(PacketPtr)>, 4> rx_handlers_{};
+
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+};
+
+}  // namespace freeflow::fabric

@@ -1,0 +1,44 @@
+// The unit the physical underlay moves between hosts. The underlay is
+// host-addressed (the paper assumes "connectivity between any pair of hosts
+// is always maintained by the host network"); higher layers (overlay IPs,
+// TCP streams, RDMA QPs) put their own headers in typed bodies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace freeflow::fabric {
+
+using HostId = std::uint32_t;
+constexpr HostId k_invalid_host = 0xFFFFFFFFU;
+
+/// Discriminates the typed body so receivers can downcast safely.
+enum class PacketKind : std::uint8_t {
+  tcp_frame,    ///< tcpstack::WireSegment
+  rdma_chunk,   ///< rdma::RdmaChunk
+  dpdk_frame,   ///< dpdk::DpdkFrame
+  control,      ///< orchestrator / routing control messages
+};
+
+/// Base class for typed packet bodies (owned via shared_ptr; zero-copy
+/// within the simulation).
+struct PacketBody {
+  virtual ~PacketBody() = default;
+};
+
+struct Packet {
+  HostId src_host = k_invalid_host;
+  HostId dst_host = k_invalid_host;
+  std::uint32_t wire_bytes = 0;  ///< size serialized on links (incl. headers)
+  PacketKind kind = PacketKind::control;
+  std::shared_ptr<PacketBody> body;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+template <typename T>
+std::shared_ptr<T> body_as(const PacketPtr& packet) {
+  return std::static_pointer_cast<T>(packet->body);
+}
+
+}  // namespace freeflow::fabric

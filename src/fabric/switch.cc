@@ -1,0 +1,37 @@
+#include "fabric/switch.h"
+
+#include "common/status.h"
+#include "fabric/nic.h"
+
+namespace freeflow::fabric {
+
+Switch::Switch(sim::EventLoop& loop, const sim::CostModel& model)
+    : loop_(loop), model_(model) {}
+
+void Switch::connect(HostId host, Nic* nic) {
+  FF_CHECK(nic != nullptr);
+  if (ports_.size() <= host) ports_.resize(host + 1);
+  FF_CHECK(ports_[host].nic == nullptr);
+  ports_[host].nic = nic;
+  ports_[host].link = std::make_unique<sim::Resource>(
+      loop_, "switch_port", nic->capabilities().line_rate_gbps * 1e9 / 8.0, 1);
+}
+
+void Switch::forward(PacketPtr packet) {
+  const HostId dst = packet->dst_host;
+  FF_CHECK(dst < ports_.size() && ports_[dst].nic != nullptr);
+  ++forwarded_;
+  Port& port = ports_[dst];
+  loop_.schedule(model_.switch_fwd_ns, [this, packet, &port]() {
+    port.link->submit(static_cast<double>(packet->wire_bytes),
+                      [packet, &port]() { port.nic->deliver(packet); },
+                      /*account=*/nullptr, model_.link_prop_ns);
+  });
+}
+
+sim::Resource* Switch::port_link(HostId host) noexcept {
+  if (host >= ports_.size()) return nullptr;
+  return ports_[host].link.get();
+}
+
+}  // namespace freeflow::fabric

@@ -1,0 +1,48 @@
+// A single non-blocking ToR switch connecting all hosts. Each destination
+// port has its own output link (line rate), so incast congestion on a
+// receiver shows up as queueing on that port.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fabric/packet.h"
+#include "sim/cost_model.h"
+#include "sim/event_loop.h"
+#include "sim/resource.h"
+
+namespace freeflow::fabric {
+
+class Nic;
+
+class Switch {
+ public:
+  Switch(sim::EventLoop& loop, const sim::CostModel& model);
+
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  /// Registers the NIC serving `host`. Ports are indexed by HostId.
+  void connect(HostId host, Nic* nic);
+
+  /// Store-and-forward: forwarding latency, then the output port link.
+  void forward(PacketPtr packet);
+
+  [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+
+  /// Output-port link resource for a host (for utilization probes).
+  [[nodiscard]] sim::Resource* port_link(HostId host) noexcept;
+
+ private:
+  struct Port {
+    Nic* nic = nullptr;
+    std::unique_ptr<sim::Resource> link;
+  };
+
+  sim::EventLoop& loop_;
+  const sim::CostModel& model_;
+  std::vector<Port> ports_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace freeflow::fabric

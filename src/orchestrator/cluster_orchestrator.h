@@ -1,0 +1,70 @@
+// Mesos/Kubernetes-style cluster orchestrator: schedules containers onto
+// hosts, drives their lifecycle (including live migration) and notifies
+// subscribers — the paper's key observation is that this centrally-managed
+// deployment gives FreeFlow its location feed for free.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/cluster.h"
+#include "orchestrator/container.h"
+#include "overlay/overlay.h"
+
+namespace freeflow::orch {
+
+enum class PlacementPolicy : std::uint8_t {
+  spread,   ///< fewest containers first (default)
+  binpack,  ///< most containers first
+};
+
+class ClusterOrchestrator {
+ public:
+  /// Fired after a container starts, moves, or stops.
+  using EventFn = std::function<void(const Container&)>;
+
+  ClusterOrchestrator(fabric::Cluster& cluster, overlay::OverlayNetwork& overlay);
+
+  ClusterOrchestrator(const ClusterOrchestrator&) = delete;
+  ClusterOrchestrator& operator=(const ClusterOrchestrator&) = delete;
+
+  void set_placement_policy(PlacementPolicy p) noexcept { policy_ = p; }
+
+  /// Schedules and starts a container; allocates its overlay IP.
+  Result<ContainerPtr> deploy(ContainerSpec spec);
+
+  /// Live-migrates a container; the overlay IP is preserved. Completes
+  /// after `downtime` of simulated migration blackout, then notifies.
+  Status migrate(ContainerId id, fabric::HostId dst, SimDuration downtime = 50 * k_millisecond);
+
+  Status stop(ContainerId id);
+
+  [[nodiscard]] ContainerPtr container(ContainerId id) const;
+  [[nodiscard]] ContainerPtr container_by_name(const std::string& name) const;
+  [[nodiscard]] ContainerPtr container_by_ip(tcp::Ipv4Addr ip) const;
+  [[nodiscard]] std::size_t running_count() const noexcept;
+  [[nodiscard]] std::vector<ContainerPtr> containers_on(fabric::HostId host) const;
+
+  void on_started(EventFn fn) { started_.push_back(std::move(fn)); }
+  void on_moved(EventFn fn) { moved_.push_back(std::move(fn)); }
+  void on_stopped(EventFn fn) { stopped_.push_back(std::move(fn)); }
+
+  [[nodiscard]] fabric::Cluster& cluster() noexcept { return cluster_; }
+  [[nodiscard]] overlay::OverlayNetwork& overlay() noexcept { return overlay_; }
+
+ private:
+  fabric::HostId pick_host() const;
+
+  fabric::Cluster& cluster_;
+  overlay::OverlayNetwork& overlay_;
+  PlacementPolicy policy_ = PlacementPolicy::spread;
+  ContainerId next_id_ = 1;
+  std::unordered_map<ContainerId, ContainerPtr> containers_;
+  std::vector<EventFn> started_;
+  std::vector<EventFn> moved_;
+  std::vector<EventFn> stopped_;
+};
+
+}  // namespace freeflow::orch

@@ -1,0 +1,2 @@
+// Container is header-only; this TU anchors the library target.
+#include "orchestrator/container.h"

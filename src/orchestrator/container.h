@@ -1,0 +1,64 @@
+// Containers as the cluster orchestrator sees them: a named, tenant-owned
+// unit placed on a host, with an overlay IP that survives migration and a
+// CPU usage account its networking work bills to.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "fabric/packet.h"
+#include "sim/resource.h"
+#include "tcpstack/ip.h"
+
+namespace freeflow::orch {
+
+using ContainerId = std::uint32_t;
+using TenantId = std::uint32_t;
+
+enum class ContainerState : std::uint8_t { pending, running, migrating, stopped };
+
+struct ContainerSpec {
+  std::string name;
+  TenantId tenant = 0;
+  /// Pin to a host; otherwise the placement policy chooses.
+  std::optional<fabric::HostId> pinned_host;
+  /// Request a specific overlay IP; otherwise IPAM assigns.
+  std::optional<tcp::Ipv4Addr> requested_ip;
+};
+
+class Container {
+ public:
+  Container(ContainerId id, ContainerSpec spec, fabric::HostId host, tcp::Ipv4Addr ip)
+      : id_(id),
+        spec_(std::move(spec)),
+        host_(host),
+        ip_(ip),
+        account_(spec_.name) {}
+
+  [[nodiscard]] ContainerId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return spec_.name; }
+  [[nodiscard]] TenantId tenant() const noexcept { return spec_.tenant; }
+  [[nodiscard]] fabric::HostId host() const noexcept { return host_; }
+  [[nodiscard]] tcp::Ipv4Addr ip() const noexcept { return ip_; }
+  [[nodiscard]] ContainerState state() const noexcept { return state_; }
+  [[nodiscard]] sim::UsageAccount& account() noexcept { return account_; }
+
+  // Orchestrator-internal.
+  void set_host(fabric::HostId host) noexcept { host_ = host; }
+  void set_state(ContainerState s) noexcept { state_ = s; }
+  void set_ip(tcp::Ipv4Addr ip) noexcept { ip_ = ip; }
+
+ private:
+  ContainerId id_;
+  ContainerSpec spec_;
+  fabric::HostId host_;
+  tcp::Ipv4Addr ip_;
+  ContainerState state_ = ContainerState::pending;
+  sim::UsageAccount account_;
+};
+
+using ContainerPtr = std::shared_ptr<Container>;
+
+}  // namespace freeflow::orch

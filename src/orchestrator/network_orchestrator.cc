@@ -1,0 +1,120 @@
+#include "orchestrator/network_orchestrator.h"
+
+namespace freeflow::orch {
+
+namespace {
+std::uint64_t trust_key(TenantId a, TenantId b) noexcept {
+  if (a > b) std::swap(a, b);
+  return (std::uint64_t{a} << 32) | b;
+}
+}  // namespace
+
+std::string_view transport_name(Transport t) noexcept {
+  switch (t) {
+    case Transport::shm: return "shm";
+    case Transport::rdma: return "rdma";
+    case Transport::dpdk: return "dpdk";
+    case Transport::tcp_host: return "tcp-host";
+    case Transport::tcp_overlay: return "tcp-overlay";
+  }
+  return "?";
+}
+
+NetworkOrchestrator::NetworkOrchestrator(ClusterOrchestrator& cluster_orch)
+    : cluster_(cluster_orch) {
+  cluster_.on_moved([this](const Container& c) {
+    for (auto& fn : move_subscribers_) fn(c);
+  });
+}
+
+void NetworkOrchestrator::set_tenant_trust(TenantId a, TenantId b, bool is_trusted) {
+  if (is_trusted) {
+    tenant_trust_.insert(trust_key(a, b));
+  } else {
+    tenant_trust_.erase(trust_key(a, b));
+  }
+}
+
+bool NetworkOrchestrator::trusted(const Container& a, const Container& b) const {
+  if (a.tenant() == b.tenant()) return true;
+  return tenant_trust_.contains(trust_key(a.tenant(), b.tenant()));
+}
+
+fabric::HostId NetworkOrchestrator::physical_machine(fabric::HostId host) const {
+  const fabric::Host& h = cluster_.cluster().host(host);
+  return h.physical_machine().value_or(host);
+}
+
+TransportDecision NetworkOrchestrator::decide(const Container& src,
+                                              const Container& dst) const {
+  TransportDecision d;
+  d.same_host = src.host() == dst.host();
+
+  // Isolation first: untrusted pairs keep the fully-isolated overlay path.
+  if (!allow_trade_ || !trusted(src, dst)) {
+    d.transport = Transport::tcp_overlay;
+    d.reason = "no trust: full isolation via overlay";
+    return d;
+  }
+
+  // Same host (containers, or processes inside the same VM): shared memory.
+  if (d.same_host) {
+    d.transport = Transport::shm;
+    d.reason = "co-located: shared memory";
+    return d;
+  }
+
+  const fabric::Host& sh = cluster_.cluster().host(src.host());
+  const fabric::Host& dh = cluster_.cluster().host(dst.host());
+
+  // VMs on the same physical machine (deployment case c with two VMs):
+  // the paper defers the NetVM-style fast path to future work, so FreeFlow
+  // still routes via the NIC — which the hairpin makes equivalent to the
+  // inter-host decision below.
+  if (sh.nic().capabilities().rdma && dh.nic().capabilities().rdma) {
+    d.transport = Transport::rdma;
+    d.reason = "different hosts, RDMA-capable NICs";
+    return d;
+  }
+  if (sh.nic().capabilities().dpdk && dh.nic().capabilities().dpdk) {
+    d.transport = Transport::dpdk;
+    d.reason = "no RDMA; DPDK kernel bypass";
+    return d;
+  }
+  d.transport = Transport::tcp_host;
+  d.reason = "commodity NICs: agent-to-agent TCP";
+  return d;
+}
+
+Result<TransportDecision> NetworkOrchestrator::decide(ContainerId src,
+                                                      ContainerId dst) const {
+  ContainerPtr s = cluster_.container(src);
+  ContainerPtr d = cluster_.container(dst);
+  if (s == nullptr || d == nullptr) return not_found("unknown container");
+  return decide(*s, *d);
+}
+
+Result<NetworkOrchestrator::Location> NetworkOrchestrator::locate(ContainerId id) const {
+  ContainerPtr c = cluster_.container(id);
+  if (c == nullptr) return not_found("unknown container " + std::to_string(id));
+  return Location{c->host(), c->ip(), c->state()};
+}
+
+Result<ContainerId> NetworkOrchestrator::resolve_ip(tcp::Ipv4Addr ip) const {
+  ContainerPtr c = cluster_.container_by_ip(ip);
+  if (c == nullptr) return not_found("no container with IP " + ip.to_string());
+  return c->id();
+}
+
+void NetworkOrchestrator::query_location(ContainerId id,
+                                         std::function<void(Result<Location>)> cb) const {
+  auto& loop = cluster_.cluster().loop();
+  const SimDuration rtt = cluster_.cluster().cost_model().orchestrator_rpc_ns;
+  loop.schedule(rtt, [this, id, cb = std::move(cb)]() { cb(locate(id)); });
+}
+
+void NetworkOrchestrator::subscribe_moves(LocationFn fn) {
+  move_subscribers_.push_back(std::move(fn));
+}
+
+}  // namespace freeflow::orch

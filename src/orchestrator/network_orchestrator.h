@@ -1,0 +1,91 @@
+// FreeFlow's network orchestrator: the (conceptually) centralized
+// control-plane extension the paper adds on top of the cluster
+// orchestrator. It maintains three kinds of global state — container
+// locations (fed by the cluster orchestrator and, for containers in VMs,
+// the fabric controller), assigned IPs, and host NIC capabilities — and
+// answers the one question the whole system turns on: *which data-plane
+// mechanism should this pair of containers use?*
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "orchestrator/cluster_orchestrator.h"
+
+namespace freeflow::orch {
+
+/// The data-plane mechanisms FreeFlow integrates (paper §4.2).
+enum class Transport : std::uint8_t {
+  shm,          ///< same host (or same VM): shared-memory channel
+  rdma,         ///< different hosts, both NICs RDMA-capable
+  dpdk,         ///< different hosts, kernel bypass without RDMA
+  tcp_host,     ///< agent-to-agent kernel TCP (capable-NIC-free fallback)
+  tcp_overlay,  ///< plain overlay networking (no trust: full isolation)
+};
+
+std::string_view transport_name(Transport t) noexcept;
+
+struct TransportDecision {
+  Transport transport = Transport::tcp_overlay;
+  bool same_host = false;
+  std::string reason;
+};
+
+class NetworkOrchestrator {
+ public:
+  using LocationFn = std::function<void(const Container&)>;
+
+  explicit NetworkOrchestrator(ClusterOrchestrator& cluster_orch);
+
+  NetworkOrchestrator(const NetworkOrchestrator&) = delete;
+  NetworkOrchestrator& operator=(const NetworkOrchestrator&) = delete;
+
+  // ---- trust management -------------------------------------------------
+  /// Containers of the same tenant trust each other by default; explicit
+  /// cross-tenant trust can be granted (e.g. a shared data-plane service).
+  void set_tenant_trust(TenantId a, TenantId b, bool trusted);
+  [[nodiscard]] bool trusted(const Container& a, const Container& b) const;
+
+  /// Globally disable isolation-trading (forces tcp_overlay everywhere).
+  void set_allow_isolation_trade(bool allow) noexcept { allow_trade_ = allow; }
+
+  // ---- the decision function (paper Table 1) ----------------------------
+  [[nodiscard]] Result<TransportDecision> decide(ContainerId src, ContainerId dst) const;
+  [[nodiscard]] TransportDecision decide(const Container& src, const Container& dst) const;
+
+  // ---- location queries (what the network library pulls) ---------------
+  struct Location {
+    fabric::HostId host;
+    tcp::Ipv4Addr ip;
+    ContainerState state;
+  };
+  /// Synchronous lookup of current truth (the orchestrator's view).
+  [[nodiscard]] Result<Location> locate(ContainerId id) const;
+  [[nodiscard]] Result<ContainerId> resolve_ip(tcp::Ipv4Addr ip) const;
+
+  /// RPC-style query: the answer arrives after the control-plane RTT, as
+  /// it would for a library polling a remote orchestrator.
+  void query_location(ContainerId id, std::function<void(Result<Location>)> cb) const;
+
+  /// Location-change subscription (invalidates library caches, re-binds
+  /// channels after migration).
+  void subscribe_moves(LocationFn fn);
+
+  [[nodiscard]] ClusterOrchestrator& cluster_orch() noexcept { return cluster_; }
+
+  /// Effective physical machine of a host: itself, or the machine under a
+  /// VM host (fabric-controller knowledge, deployment cases c/d).
+  [[nodiscard]] fabric::HostId physical_machine(fabric::HostId host) const;
+
+ private:
+  ClusterOrchestrator& cluster_;
+  bool allow_trade_ = true;
+  std::unordered_set<std::uint64_t> tenant_trust_;
+  std::vector<LocationFn> move_subscribers_;
+};
+
+}  // namespace freeflow::orch

@@ -1,0 +1,50 @@
+#include "overlay/ipam.h"
+
+namespace freeflow::overlay {
+
+Ipam::Ipam(tcp::Subnet pool) : pool_(pool) {
+  FF_CHECK(pool.prefix_len >= 1 && pool.prefix_len <= 30);
+  const std::uint32_t mask = ~std::uint32_t{0} << (32 - pool.prefix_len);
+  const std::uint32_t base = pool.base.value() & mask;
+  pool_.base = tcp::Ipv4Addr(base);
+  first_ = base + 1;
+  last_ = base + (~mask) - 1;
+  cursor_ = first_;
+}
+
+std::size_t Ipam::capacity() const noexcept { return last_ - first_ + 1; }
+
+Result<tcp::Ipv4Addr> Ipam::allocate(std::optional<tcp::Ipv4Addr> want) {
+  if (want.has_value()) {
+    const std::uint32_t v = want->value();
+    if (v < first_ || v > last_) {
+      return invalid_argument("requested IP " + want->to_string() + " outside pool " +
+                              pool_.to_string());
+    }
+    if (used_.contains(v)) {
+      return already_exists("IP " + want->to_string() + " already allocated");
+    }
+    used_.insert(v);
+    return *want;
+  }
+  if (used_.size() >= capacity()) return resource_exhausted("IPAM pool exhausted");
+  // Scan from the cursor with wrap-around; amortized O(1).
+  for (std::uint32_t tries = 0; tries <= last_ - first_; ++tries) {
+    const std::uint32_t candidate = cursor_;
+    cursor_ = cursor_ == last_ ? first_ : cursor_ + 1;
+    if (!used_.contains(candidate)) {
+      used_.insert(candidate);
+      return tcp::Ipv4Addr(candidate);
+    }
+  }
+  return resource_exhausted("IPAM pool exhausted");
+}
+
+Status Ipam::release(tcp::Ipv4Addr addr) {
+  if (used_.erase(addr.value()) == 0) {
+    return not_found("IP " + addr.to_string() + " not allocated");
+  }
+  return ok_status();
+}
+
+}  // namespace freeflow::overlay

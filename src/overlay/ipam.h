@@ -1,0 +1,42 @@
+// IP address management for the overlay: allocates container IPs out of a
+// cluster-wide pool. FreeFlow keeps this control-plane feature unchanged
+// from existing overlays ("IP assignment independent of container
+// location"), so IPs never encode placement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "tcpstack/ip.h"
+
+namespace freeflow::overlay {
+
+class Ipam {
+ public:
+  /// `pool` e.g. 10.244.0.0/16; network (.0) and broadcast-ish last address
+  /// are never handed out.
+  explicit Ipam(tcp::Subnet pool);
+
+  /// Allocates the lowest free address, or `want` if given and free.
+  Result<tcp::Ipv4Addr> allocate(std::optional<tcp::Ipv4Addr> want = std::nullopt);
+
+  Status release(tcp::Ipv4Addr addr);
+
+  [[nodiscard]] bool in_use(tcp::Ipv4Addr addr) const noexcept {
+    return used_.contains(addr.value());
+  }
+  [[nodiscard]] std::size_t allocated() const noexcept { return used_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept;
+  [[nodiscard]] const tcp::Subnet& pool() const noexcept { return pool_; }
+
+ private:
+  tcp::Subnet pool_;
+  std::uint32_t first_;
+  std::uint32_t last_;
+  std::uint32_t cursor_;
+  std::unordered_set<std::uint32_t> used_;
+};
+
+}  // namespace freeflow::overlay

@@ -1,0 +1,135 @@
+#include "overlay/overlay.h"
+
+#include "fabric/control.h"
+
+namespace freeflow::overlay {
+
+OverlayNetwork::OverlayNetwork(fabric::Cluster& cluster, tcp::Subnet pool)
+    : cluster_(cluster), ipam_(pool), builder_(*this) {}
+
+Router& OverlayNetwork::attach_host(fabric::HostId host) {
+  auto it = routers_.find(host);
+  if (it != routers_.end()) return *it->second;
+  fabric::Host& h = cluster_.host(host);
+  fabric::install_control_rx(h);
+  tcp::WireHop::install_rx(h);
+  auto router = std::make_unique<Router>(*this, h);
+  Router& ref = *router;
+  routers_.emplace(host, std::move(router));
+  router_list_.push_back(&ref);
+  return ref;
+}
+
+Result<tcp::Ipv4Addr> OverlayNetwork::add_container(fabric::HostId host,
+                                                    sim::UsageAccount* account,
+                                                    std::optional<tcp::Ipv4Addr> want) {
+  Router* r = router(host);
+  if (r == nullptr) return failed_precondition("host not attached to overlay");
+  auto ip = ipam_.allocate(want);
+  if (!ip.is_ok()) return ip.status();
+  bindings_[ip->value()] = Binding{
+      host, account, std::make_shared<sim::SerialExecutor>(cluster_.host(host).cpu())};
+  r->announce(tcp::Subnet{*ip, 32});
+  return ip;
+}
+
+Status OverlayNetwork::move_container(tcp::Ipv4Addr ip, fabric::HostId new_host,
+                                      sim::UsageAccount* account) {
+  auto it = bindings_.find(ip.value());
+  if (it == bindings_.end()) return not_found("IP " + ip.to_string() + " not bound");
+  Router* old_router = router(it->second.host);
+  Router* new_router = router(new_host);
+  if (new_router == nullptr) return failed_precondition("target host not attached");
+  old_router->withdraw(tcp::Subnet{ip, 32});
+  it->second = Binding{new_host, account,
+                       std::make_shared<sim::SerialExecutor>(cluster_.host(new_host).cpu())};
+  new_router->announce(tcp::Subnet{ip, 32});
+  return ok_status();
+}
+
+Status OverlayNetwork::remove_container(tcp::Ipv4Addr ip) {
+  auto it = bindings_.find(ip.value());
+  if (it == bindings_.end()) return not_found("IP " + ip.to_string() + " not bound");
+  if (Router* r = router(it->second.host)) r->withdraw(tcp::Subnet{ip, 32});
+  bindings_.erase(it);
+  return ipam_.release(ip);
+}
+
+Router* OverlayNetwork::router(fabric::HostId host) {
+  auto it = routers_.find(host);
+  return it == routers_.end() ? nullptr : it->second.get();
+}
+
+Result<OverlayNetwork::Binding> OverlayNetwork::binding(tcp::Ipv4Addr ip) const {
+  auto it = bindings_.find(ip.value());
+  if (it == bindings_.end()) return not_found("IP " + ip.to_string() + " not bound");
+  return it->second;
+}
+
+Result<tcp::PathPair> OverlayModeBuilder::build(const tcp::Endpoint& src,
+                                                const tcp::Endpoint& dst) {
+  auto sb = net_.binding(src.ip);
+  if (!sb.is_ok()) return sb.status();
+  Router* src_router = net_.router(sb->host);
+  if (src_router == nullptr) return failed_precondition("source host has no router");
+
+  // Reachability comes from the *learned* routing table, so connections
+  // attempted before route convergence fail — as they do in real overlays.
+  auto via = src_router->route(dst.ip);
+  if (!via.has_value()) {
+    return unavailable("no overlay route to " + dst.ip.to_string() + " yet");
+  }
+  auto db = net_.binding(dst.ip);
+  if (!db.is_ok()) return db.status();
+  Router* dst_router = net_.router(*via);
+  if (dst_router == nullptr) return failed_precondition("destination host has no router");
+
+  fabric::Host& sh = net_.cluster().host(sb->host);
+  fabric::Host& dh = net_.cluster().host(*via);
+  const auto& m = net_.cluster().cost_model();
+  const bool inter_host = sh.id() != dh.id();
+
+  const tcp::EndpointBinding src_b{&sh, sb->account, sb->thread};
+  const tcp::EndpointBinding dst_b{&dh, db->account, db->thread};
+
+  tcp::PathPair paths;
+  // Sender: container stack + veth/bridge into the router.
+  paths.data.add(tcp::hops::tcp_tx(src_b, m));
+  paths.data.add(tcp::hops::bridge(src_b, m));
+  paths.control.add(tcp::hops::ack_cost(src_b, m.tcp_ack_ns + m.bridge_ack_ns));
+
+  // Source router: a single userspace process doing two copies per chunk
+  // (+ VXLAN encap when the packet leaves the host).
+  const double encap = inter_host ? m.vxlan_ns_per_chunk : 0.0;
+  paths.data.add(std::make_shared<tcp::CpuHop>(
+      sh, src_router->thread(),
+      [&m, encap](const tcp::Segment& s) { return m.router_cost(s.payload_bytes()) + encap; },
+      &src_router->account()));
+  paths.control.add(std::make_shared<tcp::CpuHop>(
+      sh, src_router->thread(), [&m](const tcp::Segment&) { return m.router_ack_ns; },
+      &src_router->account()));
+
+  if (inter_host) {
+    paths.data.add(tcp::hops::wire(sh, dh.id()));
+    paths.control.add(tcp::hops::wire(sh, dh.id()));
+    // Destination router: decap + forward onto the local bridge.
+    paths.data.add(std::make_shared<tcp::CpuHop>(
+        dh, dst_router->thread(),
+        [&m](const tcp::Segment& s) {
+          return m.router_cost(s.payload_bytes()) + m.vxlan_ns_per_chunk;
+        },
+        &dst_router->account()));
+    paths.control.add(std::make_shared<tcp::CpuHop>(
+        dh, dst_router->thread(), [&m](const tcp::Segment&) { return m.router_ack_ns; },
+        &dst_router->account()));
+  }
+
+  // Receiver: bridge + stack + wakeup.
+  paths.data.add(tcp::hops::bridge(dst_b, m));
+  paths.data.add(tcp::hops::tcp_rx(dst_b, m));
+  paths.data.add(tcp::hops::rx_wakeup(dh, m));
+  paths.control.add(tcp::hops::ack_cost(dst_b, m.tcp_ack_ns + m.bridge_ack_ns));
+  return paths;
+}
+
+}  // namespace freeflow::overlay

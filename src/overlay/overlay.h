@@ -1,0 +1,80 @@
+// The overlay network: the portability baseline FreeFlow competes with
+// (docker overlay / Weave-style). Containers get location-independent IPs
+// from a cluster-wide IPAM; per-host software routers forward traffic and
+// exchange routes. Its data path — veth/bridge into a userspace router,
+// VXLAN encap, and the same again on the receiver — is what makes it the
+// slowest mode in the paper's Figure 1.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/cluster.h"
+#include "overlay/ipam.h"
+#include "overlay/router.h"
+#include "tcpstack/modes.h"
+#include "tcpstack/network.h"
+
+namespace freeflow::overlay {
+
+/// Builds overlay-mode TCP paths: bridge hop, router hop (+VXLAN when
+/// inter-host), wire, and the mirror image on the receiving host.
+class OverlayModeBuilder final : public tcp::PathBuilder {
+ public:
+  explicit OverlayModeBuilder(OverlayNetwork& net) : net_(net) {}
+  Result<tcp::PathPair> build(const tcp::Endpoint& src, const tcp::Endpoint& dst) override;
+
+ private:
+  OverlayNetwork& net_;
+};
+
+class OverlayNetwork {
+ public:
+  OverlayNetwork(fabric::Cluster& cluster, tcp::Subnet pool);
+
+  OverlayNetwork(const OverlayNetwork&) = delete;
+  OverlayNetwork& operator=(const OverlayNetwork&) = delete;
+
+  /// Creates the software router on `host` (idempotent per host).
+  Router& attach_host(fabric::HostId host);
+
+  /// Allocates an overlay IP for a container on `host` and announces it.
+  Result<tcp::Ipv4Addr> add_container(fabric::HostId host, sim::UsageAccount* account,
+                                      std::optional<tcp::Ipv4Addr> want = std::nullopt);
+
+  /// Live migration support: withdraw from the old host, announce from the
+  /// new one; the IP is preserved (the paper's key portability property).
+  Status move_container(tcp::Ipv4Addr ip, fabric::HostId new_host,
+                        sim::UsageAccount* account);
+
+  Status remove_container(tcp::Ipv4Addr ip);
+
+  [[nodiscard]] Router* router(fabric::HostId host);
+  [[nodiscard]] const std::vector<Router*>& routers() const noexcept { return router_list_; }
+  [[nodiscard]] fabric::Cluster& cluster() noexcept { return cluster_; }
+  [[nodiscard]] Ipam& ipam() noexcept { return ipam_; }
+  [[nodiscard]] OverlayModeBuilder& path_builder() noexcept { return builder_; }
+
+  /// Where a container IP is bound (for path construction/accounts).
+  struct Binding {
+    fabric::HostId host;
+    sim::UsageAccount* account;
+    /// Serializes this container's stack processing (one app thread).
+    std::shared_ptr<sim::SerialExecutor> thread;
+  };
+  [[nodiscard]] Result<Binding> binding(tcp::Ipv4Addr ip) const;
+
+ private:
+  friend class OverlayModeBuilder;
+
+  fabric::Cluster& cluster_;
+  Ipam ipam_;
+  OverlayModeBuilder builder_;
+  std::unordered_map<fabric::HostId, std::unique_ptr<Router>> routers_;
+  std::vector<Router*> router_list_;
+  std::unordered_map<std::uint32_t, Binding> bindings_;
+};
+
+}  // namespace freeflow::overlay

@@ -1,0 +1,38 @@
+#include "overlay/router.h"
+
+#include "fabric/control.h"
+#include "overlay/overlay.h"
+
+namespace freeflow::overlay {
+
+namespace {
+constexpr std::uint32_t k_announce_wire_bytes = 96;  // BGP UPDATE-ish
+}
+
+Router::Router(OverlayNetwork& net, fabric::Host& host)
+    : net_(net),
+      host_(host),
+      account_("router@" + host.name()),
+      thread_(std::make_shared<sim::SerialExecutor>(host.cpu())) {}
+
+void Router::announce(const tcp::Subnet& subnet) {
+  table_.add_route(subnet, host_.id());
+  for (Router* peer : net_.routers()) {
+    if (peer == this) continue;
+    fabric::send_control(host_, peer->host().id(), k_announce_wire_bytes,
+                         [peer, subnet, origin = host_.id()]() {
+                           peer->learn(subnet, origin);
+                         });
+  }
+}
+
+void Router::withdraw(const tcp::Subnet& subnet) {
+  table_.remove_route(subnet);
+  for (Router* peer : net_.routers()) {
+    if (peer == this) continue;
+    fabric::send_control(host_, peer->host().id(), k_announce_wire_bytes,
+                         [peer, subnet]() { peer->unlearn(subnet); });
+  }
+}
+
+}  // namespace freeflow::overlay

@@ -1,0 +1,61 @@
+// Per-host overlay software router. Forwards container traffic between the
+// local bridge and remote routers (VXLAN-encapsulated over the host
+// network), and exchanges routes BGP-style: every /32 a host gains is
+// announced to all peer routers over the fabric's control plane, with real
+// propagation latency — connections attempted before convergence fail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/host.h"
+#include "sim/resource.h"
+#include "tcpstack/ip.h"
+#include "tcpstack/routing.h"
+
+namespace freeflow::overlay {
+
+class OverlayNetwork;
+
+class Router {
+ public:
+  Router(OverlayNetwork& net, fabric::Host& host);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  [[nodiscard]] fabric::Host& host() noexcept { return host_; }
+  [[nodiscard]] sim::UsageAccount& account() noexcept { return account_; }
+  /// The router is a single userspace process: all forwarding serializes
+  /// through this one thread (a key reason overlays are slow).
+  [[nodiscard]] std::shared_ptr<sim::SerialExecutor> thread() noexcept { return thread_; }
+
+  /// Route lookup (longest-prefix match) over learned routes.
+  [[nodiscard]] std::optional<fabric::HostId> route(tcp::Ipv4Addr dst) const {
+    return table_.lookup(dst);
+  }
+
+  /// Announces `subnet`->this-host to every peer router (and installs it
+  /// locally at once).
+  void announce(const tcp::Subnet& subnet);
+
+  /// Withdraws a subnet everywhere (container stopped / migrating away).
+  void withdraw(const tcp::Subnet& subnet);
+
+  /// Called on announcement arrival from a peer.
+  void learn(const tcp::Subnet& subnet, fabric::HostId origin) {
+    table_.add_route(subnet, origin);
+  }
+  void unlearn(const tcp::Subnet& subnet) { table_.remove_route(subnet); }
+
+  [[nodiscard]] std::size_t route_count() const noexcept { return table_.size(); }
+
+ private:
+  OverlayNetwork& net_;
+  fabric::Host& host_;
+  sim::UsageAccount account_;
+  std::shared_ptr<sim::SerialExecutor> thread_;
+  tcp::RoutingTable<fabric::HostId> table_;
+};
+
+}  // namespace freeflow::overlay

@@ -1,0 +1,174 @@
+#include "rdma/device.h"
+
+#include "common/logging.h"
+#include "rdma/queue_pair.h"
+
+namespace freeflow::rdma {
+
+namespace {
+constexpr std::uint32_t k_roce_header_bytes = 58;
+constexpr std::uint32_t k_ctrl_wire_bytes = 64;
+}  // namespace
+
+RdmaDevice::RdmaDevice(fabric::Host& host) : host_(host) {
+  host_.nic().set_rx_handler(fabric::PacketKind::rdma_chunk,
+                             [this](fabric::PacketPtr p) { on_chunk(std::move(p)); });
+}
+
+MrPtr RdmaDevice::reg_mr(std::size_t length) {
+  const Key lkey = next_key_++;
+  const Key rkey = next_key_++;
+  auto mr = std::make_shared<MemoryRegion>(lkey, rkey, length);
+  mrs_.emplace(rkey, mr);
+  return mr;
+}
+
+CqPtr RdmaDevice::create_cq(std::size_t capacity) {
+  return std::make_shared<CompletionQueue>(capacity);
+}
+
+std::shared_ptr<QueuePair> RdmaDevice::create_qp(CqPtr send_cq, CqPtr recv_cq, QpAttr attr) {
+  const QpNum num = next_qp_++;
+  auto qp = std::make_shared<QueuePair>(*this, num, std::move(send_cq),
+                                        std::move(recv_cq), attr);
+  qps_.emplace(num, qp);
+  return qp;
+}
+
+MrPtr RdmaDevice::mr_by_rkey(Key rkey) {
+  auto it = mrs_.find(rkey);
+  return it == mrs_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<QueuePair> RdmaDevice::qp(QpNum num) {
+  auto it = qps_.find(num);
+  return it == qps_.end() ? nullptr : it->second;
+}
+
+std::uint32_t RdmaDevice::wire_bytes(const RdmaChunk& chunk) noexcept {
+  if (chunk.kind != RdmaChunk::Kind::data) return k_ctrl_wire_bytes;
+  return static_cast<std::uint32_t>(chunk.payload.size()) + k_roce_header_bytes;
+}
+
+void RdmaDevice::transmit(fabric::HostId dst_host, std::shared_ptr<RdmaChunk> chunk) {
+  auto packet = std::make_shared<fabric::Packet>();
+  packet->dst_host = dst_host;
+  packet->wire_bytes = wire_bytes(*chunk);
+  packet->kind = fabric::PacketKind::rdma_chunk;
+  packet->body = std::move(chunk);
+  host_.nic().send(std::move(packet));
+}
+
+void RdmaDevice::on_chunk(fabric::PacketPtr packet) {
+  auto chunk = fabric::body_as<RdmaChunk>(packet);
+  // A hairpinned chunk (intra-host RDMA through the NIC) was already
+  // processed once on the way in; the CX3-style NIC loops it back without a
+  // second full pass. Acks cost only the fixed per-packet overhead.
+  const bool hairpin = packet->src_host == host_.id();
+  const fabric::HostId requester = packet->src_host;
+
+  auto process = [this, chunk, requester]() {
+    switch (chunk->kind) {
+      case RdmaChunk::Kind::data:
+        handle_data(chunk);
+        break;
+      case RdmaChunk::Kind::ack:
+        if (auto q = qp(chunk->dst_qp)) q->rx_ack(chunk);
+        break;
+      case RdmaChunk::Kind::read_request:
+        handle_read_request(chunk, requester);
+        break;
+    }
+  };
+
+  if (hairpin) {
+    process();
+    return;
+  }
+  const auto& m = host_.cost_model();
+  const double cost = chunk->kind == RdmaChunk::Kind::data
+                          ? m.nic_pkt_cost(static_cast<std::uint32_t>(chunk->payload.size()))
+                          : m.nic_pkt_fixed_ns;
+  nic_proc().submit(cost, std::move(process));
+}
+
+void RdmaDevice::handle_data(const std::shared_ptr<RdmaChunk>& chunk) {
+  auto q = qp(chunk->dst_qp);
+  if (q == nullptr) {
+    FF_LOG(warn, "rdma") << "chunk for unknown QP " << chunk->dst_qp << " dropped";
+    return;
+  }
+  bytes_received_ += chunk->payload.size();
+  // DMA into host memory competes for the memory bus.
+  const auto& m = host_.cost_model();
+  const double bus = m.nic_dma_bus_bytes_factor * static_cast<double>(chunk->payload.size());
+  if (bus > 0) host_.membus().submit(bus, nullptr);
+  q->rx_data_chunk(chunk);
+}
+
+void RdmaDevice::handle_read_request(const std::shared_ptr<RdmaChunk>& request,
+                                     fabric::HostId requester) {
+  // Served entirely by the NIC: the remote host's CPU is never involved —
+  // the defining property of one-sided RDMA.
+  MrPtr mr = mr_by_rkey(request->remote.rkey);
+  const auto& m = host_.cost_model();
+
+  if (mr == nullptr || request->remote.offset + request->read_len > mr->length()) {
+    auto nak = std::make_shared<RdmaChunk>();
+    nak->kind = RdmaChunk::Kind::ack;
+    nak->opcode = Opcode::read;
+    nak->dst_qp = request->src_qp;
+    nak->msg_id = request->msg_id;
+    nak->wr_id = request->wr_id;
+    nak->status = WcStatus::remote_access_error;
+    transmit(requester, nak);
+    return;
+  }
+
+  const std::uint32_t mtu = m.rdma_mtu_bytes;
+  const std::uint32_t total = request->read_len;
+
+  // Stream response chunks, one NIC-processor job each, self-scheduling.
+  auto emit = std::make_shared<std::function<void(std::uint32_t)>>();
+  *emit = [this, emit, mr, request, requester, total, mtu, &m](std::uint32_t offset) {
+    const std::uint32_t n = std::min(mtu, total - offset);
+    auto chunk = std::make_shared<RdmaChunk>();
+    chunk->kind = RdmaChunk::Kind::data;
+    chunk->opcode = Opcode::read;
+    chunk->src_qp = request->dst_qp;
+    chunk->dst_qp = request->src_qp;
+    chunk->msg_id = request->msg_id;
+    chunk->wr_id = request->wr_id;
+    chunk->total_len = total;
+    chunk->chunk_offset = offset;
+    chunk->last = offset + n >= total;
+    chunk->payload = Buffer(mr->data().data() + request->remote.offset + offset, n);
+
+    const double bus = m.nic_dma_bus_bytes_factor * static_cast<double>(n);
+    if (bus > 0) host_.membus().submit(bus, nullptr);
+
+    const bool more = !chunk->last;
+    nic_proc().submit(m.nic_pkt_cost(n), [this, chunk, requester, emit, offset, n, more]() {
+      transmit(requester, chunk);
+      if (more) (*emit)(offset + n);
+    });
+  };
+  if (total == 0) {
+    // Zero-length read completes immediately with an empty last chunk.
+    auto chunk = std::make_shared<RdmaChunk>();
+    chunk->kind = RdmaChunk::Kind::data;
+    chunk->opcode = Opcode::read;
+    chunk->src_qp = request->dst_qp;
+    chunk->dst_qp = request->src_qp;
+    chunk->msg_id = request->msg_id;
+    chunk->wr_id = request->wr_id;
+    chunk->total_len = 0;
+    chunk->last = true;
+    nic_proc().submit(m.nic_pkt_fixed_ns,
+                      [this, chunk, requester]() { transmit(requester, chunk); });
+    return;
+  }
+  (*emit)(0);
+}
+
+}  // namespace freeflow::rdma

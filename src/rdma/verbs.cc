@@ -1,0 +1,26 @@
+#include "rdma/verbs.h"
+
+namespace freeflow::rdma {
+
+std::size_t CompletionQueue::poll(std::span<WorkCompletion> out) {
+  std::size_t n = 0;
+  while (n < out.size() && !entries_.empty()) {
+    out[n++] = entries_.front();
+    entries_.pop_front();
+  }
+  return n;
+}
+
+void CompletionQueue::push(const WorkCompletion& wc) {
+  if (entries_.size() >= capacity_) {
+    overflowed_ = true;  // real CQs overrun into device error; we latch a flag
+    return;
+  }
+  entries_.push_back(wc);
+  if (notify_) {
+    auto handler = notify_;  // consumers may re-arm or clear from inside
+    handler();
+  }
+}
+
+}  // namespace freeflow::rdma

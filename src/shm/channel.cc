@@ -1,0 +1,67 @@
+#include "shm/channel.h"
+
+namespace freeflow::shm {
+
+void charge_bus_then_cpu(fabric::Host& host, double bus_bytes, double cpu_units,
+                         sim::UsageAccount* account, std::function<void()> done) {
+  const SimDuration bus_wait = host.membus().backlog_ns();
+  if (bus_bytes > 0) {
+    host.membus().submit(bus_bytes, nullptr);
+  }
+  host.loop().schedule(bus_wait, [&host, cpu_units, account, cb = std::move(done)]() mutable {
+    host.cpu().submit(cpu_units, std::move(cb), account);
+  });
+}
+
+ShmLane::ShmLane(fabric::Host& host, std::size_t ring_bytes)
+    : host_(host), tx_thread_(host.cpu()), rx_thread_(host.cpu()), ring_(ring_bytes) {}
+
+Status ShmLane::send(ByteSpan message) {
+  const std::size_t size = message.size();
+  if (!ring_.can_push(size)) {
+    return would_block("shm ring full");
+  }
+  FF_CHECK(ring_.try_push(message));
+
+  const auto& model = host_.cost_model();
+  const double side_bus = static_cast<double>(size) * model.shm_bus_bytes_factor / 2.0;
+  const double send_cpu =
+      model.shm_post_ns + model.shm_copy_ns_per_byte * static_cast<double>(size);
+
+  tx_thread_.submit(send_cpu,
+                    [this, size]() {
+                      // Cross-core notification, then the receiver's poll +
+                      // copy-out.
+                      host_.loop().schedule(host_.cost_model().shm_wakeup_ns,
+                                            [this, size]() { deliver_one(size); });
+                    },
+                    sender_account_, &host_.membus(), side_bus);
+  return ok_status();
+}
+
+void ShmLane::deliver_one(std::size_t payload_size) {
+  const auto& model = host_.cost_model();
+  const double side_bus =
+      static_cast<double>(payload_size) * model.shm_bus_bytes_factor / 2.0;
+  const double recv_cpu =
+      model.shm_poll_ns + model.shm_copy_ns_per_byte * static_cast<double>(payload_size);
+
+  rx_thread_.submit(recv_cpu, [this]() {
+    Buffer out;
+    FF_CHECK(ring_.try_pop(out));
+    ++delivered_;
+    bytes_delivered_ += out.size();
+    // Copy the handlers: a callback may re-register itself (e.g. a channel
+    // handshake swapping in the data-phase handler) while executing.
+    if (on_message_) {
+      auto handler = on_message_;
+      handler(std::move(out));
+    }
+    if (on_space_) {
+      auto handler = on_space_;
+      handler();
+    }
+  }, receiver_account_, &host_.membus(), side_bus);
+}
+
+}  // namespace freeflow::shm

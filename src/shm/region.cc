@@ -1,0 +1,34 @@
+#include "shm/region.h"
+
+namespace freeflow::shm {
+
+Result<std::shared_ptr<Region>> RegionRegistry::create(TenantId owner, std::size_t size) {
+  if (size == 0) return invalid_argument("shm region size must be > 0");
+  if (bytes_in_use_ + size > capacity_) {
+    return resource_exhausted("host shm capacity exceeded");
+  }
+  auto region = std::make_shared<Region>(next_id_++, owner, size);
+  regions_.emplace(region->id(), region);
+  bytes_in_use_ += size;
+  return region;
+}
+
+Result<std::shared_ptr<Region>> RegionRegistry::attach(RegionId id, TenantId tenant) {
+  auto it = regions_.find(id);
+  if (it == regions_.end()) return not_found("no shm region " + std::to_string(id));
+  if (!it->second->allows(tenant)) {
+    return permission_denied("tenant " + std::to_string(tenant) +
+                             " may not attach region " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Status RegionRegistry::destroy(RegionId id) {
+  auto it = regions_.find(id);
+  if (it == regions_.end()) return not_found("no shm region " + std::to_string(id));
+  bytes_in_use_ -= it->second->size();
+  regions_.erase(it);
+  return ok_status();
+}
+
+}  // namespace freeflow::shm

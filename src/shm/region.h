@@ -1,0 +1,69 @@
+// Shared-memory region registry. Regions model POSIX shm segments: they are
+// owned by a tenant and may only be attached by containers whose tenant is on
+// the region's allow-list — this is where FreeFlow's "trade isolation only
+// among trusting containers" policy is enforced mechanically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace freeflow::shm {
+
+using RegionId = std::uint64_t;
+using TenantId = std::uint32_t;
+
+class Region {
+ public:
+  Region(RegionId id, TenantId owner, std::size_t size)
+      : id_(id), owner_(owner), bytes_(size) {}
+
+  [[nodiscard]] RegionId id() const noexcept { return id_; }
+  [[nodiscard]] TenantId owner() const noexcept { return owner_; }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] Buffer& bytes() noexcept { return bytes_; }
+
+  void allow(TenantId tenant) { allowed_.insert(tenant); }
+  [[nodiscard]] bool allows(TenantId tenant) const noexcept {
+    return tenant == owner_ || allowed_.contains(tenant);
+  }
+
+ private:
+  RegionId id_;
+  TenantId owner_;
+  Buffer bytes_;
+  std::unordered_set<TenantId> allowed_;
+};
+
+/// Per-host registry of shm regions (models /dev/shm of one machine).
+class RegionRegistry {
+ public:
+  /// Creates a region owned by `owner`. Fails if the host shm budget would
+  /// be exceeded.
+  Result<std::shared_ptr<Region>> create(TenantId owner, std::size_t size);
+
+  /// Attaches an existing region; permission-checked against the tenant.
+  Result<std::shared_ptr<Region>> attach(RegionId id, TenantId tenant);
+
+  /// Removes a region; outstanding shared_ptr holders keep it alive.
+  Status destroy(RegionId id);
+
+  [[nodiscard]] std::size_t region_count() const noexcept { return regions_.size(); }
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept { return bytes_in_use_; }
+
+  void set_capacity(std::size_t bytes) noexcept { capacity_ = bytes; }
+
+ private:
+  RegionId next_id_ = 1;
+  std::size_t capacity_ = 1ULL << 34;  // 16 GiB of host shm by default
+  std::size_t bytes_in_use_ = 0;
+  std::unordered_map<RegionId, std::shared_ptr<Region>> regions_;
+};
+
+}  // namespace freeflow::shm

@@ -1,0 +1,66 @@
+#include "shm/spsc_ring.h"
+
+#include <bit>
+#include <cstring>
+
+namespace freeflow::shm {
+
+SpscRing::SpscRing(std::size_t capacity) {
+  FF_CHECK(capacity >= 64);
+  capacity = std::bit_ceil(capacity);
+  mask_ = capacity - 1;
+  storage_.resize(capacity);
+}
+
+void SpscRing::copy_in(std::size_t pos, const std::byte* src, std::size_t n) noexcept {
+  const std::size_t offset = pos & mask_;
+  const std::size_t first = std::min(n, capacity() - offset);
+  std::memcpy(storage_.data() + offset, src, first);
+  if (first < n) std::memcpy(storage_.data(), src + first, n - first);
+}
+
+void SpscRing::copy_out(std::size_t pos, std::byte* dst, std::size_t n) const noexcept {
+  const std::size_t offset = pos & mask_;
+  const std::size_t first = std::min(n, capacity() - offset);
+  std::memcpy(dst, storage_.data() + offset, first);
+  if (first < n) std::memcpy(dst + first, storage_.data(), n - first);
+}
+
+bool SpscRing::try_push(ByteSpan message) noexcept {
+  const std::size_t need = record_size(message.size());
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  if (capacity() - static_cast<std::size_t>(tail - head) < need) return false;
+
+  const auto len = static_cast<std::uint32_t>(message.size());
+  std::byte header[k_header_size];
+  std::memcpy(header, &len, k_header_size);
+  copy_in(static_cast<std::size_t>(tail), header, k_header_size);
+  if (!message.empty()) {
+    copy_in(static_cast<std::size_t>(tail + k_header_size), message.data(), message.size());
+  }
+  tail_.store(tail + need, std::memory_order_release);
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool SpscRing::try_pop(Buffer& out) noexcept {
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  if (tail == head) return false;
+
+  std::uint32_t len = 0;
+  std::byte header[k_header_size];
+  copy_out(static_cast<std::size_t>(head), header, k_header_size);
+  std::memcpy(&len, header, k_header_size);
+
+  out.resize(len);
+  if (len != 0) {
+    copy_out(static_cast<std::size_t>(head + k_header_size), out.data(), len);
+  }
+  head_.store(head + record_size(len), std::memory_order_release);
+  popped_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace freeflow::shm

@@ -1,0 +1,51 @@
+#include "sim/event_loop.h"
+
+namespace freeflow::sim {
+
+EventHandle EventLoop::schedule(SimDuration delay, std::function<void()> fn) {
+  FF_CHECK(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle EventLoop::schedule_at(SimTime at, std::function<void()> fn) {
+  FF_CHECK(at >= now_);
+  auto cancelled = std::make_shared<bool>(false);
+  EventHandle handle{std::weak_ptr<bool>(cancelled)};
+  queue_.push(Event{at, next_seq_++, std::move(fn), std::move(cancelled)});
+  return handle;
+}
+
+bool EventLoop::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+SimTime EventLoop::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime EventLoop::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (*top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top.at > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace freeflow::sim

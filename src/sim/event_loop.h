@@ -1,0 +1,93 @@
+// Discrete-event simulation core: a virtual nanosecond clock and an event
+// queue. The whole cluster simulation is single-threaded and deterministic;
+// all concurrency in the modeled system is expressed as events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace freeflow::sim {
+
+/// Handle to a scheduled event; allows cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Safe to call repeatedly.
+  void cancel() noexcept {
+    if (auto p = cancelled_.lock()) *p = true;
+    cancelled_.reset();
+  }
+
+  [[nodiscard]] bool pending() const noexcept {
+    auto p = cancelled_.lock();
+    return p != nullptr && !*p;
+  }
+
+ private:
+  friend class EventLoop;
+  explicit EventHandle(std::weak_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::weak_ptr<bool> cancelled_;
+};
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run `delay` ns from now (>= 0). FIFO among equal times.
+  EventHandle schedule(SimDuration delay, std::function<void()> fn);
+
+  /// Schedules `fn` at an absolute virtual time (>= now()).
+  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Runs events until the queue is empty. Returns the final time.
+  SimTime run();
+
+  /// Runs events with timestamp <= deadline; advances now() to deadline
+  /// if the queue empties or the next event is later.
+  SimTime run_until(SimTime deadline);
+
+  /// Convenience: run_until(now() + duration).
+  SimTime run_for(SimDuration duration) { return run_until(now_ + duration); }
+
+  /// Executes the next event, if any. Returns false when the queue is empty.
+  bool step();
+
+  /// Number of events executed since construction.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// Number of events currently queued (including cancelled tombstones).
+  [[nodiscard]] std::size_t queue_size() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace freeflow::sim

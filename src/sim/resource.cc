@@ -1,0 +1,94 @@
+#include "sim/resource.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace freeflow::sim {
+
+Resource::Resource(EventLoop& loop, std::string name, double units_per_second, int servers)
+    : loop_(loop), name_(std::move(name)), units_per_second_(units_per_second) {
+  FF_CHECK(units_per_second > 0);
+  FF_CHECK(servers >= 1);
+  free_at_.assign(static_cast<std::size_t>(servers), 0);
+}
+
+SimDuration Resource::service_time(double units) const noexcept {
+  if (units <= 0) return 0;
+  return static_cast<SimDuration>(units / units_per_second_ * 1e9);
+}
+
+void Resource::submit(double units, std::function<void()> on_done,
+                      UsageAccount* account, SimDuration extra_delay) {
+  // FIFO assignment to the earliest-free server.
+  auto it = std::min_element(free_at_.begin(), free_at_.end());
+  const SimTime start = std::max(loop_.now(), *it);
+  const SimDuration svc = service_time(units);
+  const SimTime done = start + svc;
+  *it = done;
+  loop_.schedule_at(done + extra_delay,
+                    [this, svc, account, cb = std::move(on_done)]() {
+                      busy_ns_ += static_cast<double>(svc);
+                      ++jobs_served_;
+                      if (account != nullptr) account->busy_ns += static_cast<double>(svc);
+                      if (cb) cb();
+                    });
+}
+
+SimDuration Resource::backlog_ns() const noexcept {
+  const SimTime now = loop_.now();
+  SimTime least = *std::min_element(free_at_.begin(), free_at_.end());
+  return std::max<SimDuration>(0, least - now);
+}
+
+void Resource::mark() noexcept {
+  mark_busy_ns_ = busy_ns_;
+  mark_time_ = loop_.now();
+}
+
+double Resource::utilization_since_mark() const noexcept {
+  const double window = static_cast<double>(loop_.now() - mark_time_);
+  if (window <= 0) return 0.0;
+  return (busy_ns_ - mark_busy_ns_) / (window * static_cast<double>(free_at_.size()));
+}
+
+double Resource::cores_busy_since_mark() const noexcept {
+  return utilization_since_mark() * static_cast<double>(free_at_.size());
+}
+
+void SerialExecutor::submit(double units, std::function<void()> done,
+                            UsageAccount* account, Resource* bus, double bus_bytes) {
+  queue_.push_back(Job{units, std::move(done), account, bus, bus_bytes});
+  if (!busy_) start_next();
+}
+
+void SerialExecutor::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+
+  auto run = [this, job = std::move(job)]() mutable {
+    pool_.submit(job.units,
+                 [this, done = std::move(job.done)]() {
+                   if (done) done();
+                   start_next();
+                 },
+                 job.account);
+  };
+  if (job.bus != nullptr && job.bus_bytes > 0) {
+    // Memory-bus coupling: the copy stalls by the bus backlog seen now.
+    const SimDuration wait = job.bus->backlog_ns();
+    job.bus->submit(job.bus_bytes, nullptr);
+    if (wait > 0) {
+      pool_.loop().schedule(wait, std::move(run));
+      return;
+    }
+  }
+  run();
+}
+
+}  // namespace freeflow::sim

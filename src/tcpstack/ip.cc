@@ -1,0 +1,26 @@
+#include "tcpstack/ip.h"
+
+#include <cstdio>
+
+namespace freeflow::tcp {
+
+Result<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  const std::string owned(text);
+  if (std::sscanf(owned.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    return invalid_argument("bad IPv4 address: " + owned);
+  }
+  return Ipv4Addr(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                  static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xFF,
+                (value_ >> 16) & 0xFF, (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return buf;
+}
+
+}  // namespace freeflow::tcp

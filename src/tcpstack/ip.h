@@ -1,0 +1,94 @@
+// IPv4 addressing primitives shared by the TCP stack and the overlay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace freeflow::tcp {
+
+/// An IPv4 address, stored host-order for arithmetic.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted quad ("10.0.1.2").
+  static Result<Ipv4Addr> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(Ipv4Addr a, Ipv4Addr b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator<(Ipv4Addr a, Ipv4Addr b) noexcept {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// CIDR subnet, e.g. 10.0.1.0/24.
+struct Subnet {
+  Ipv4Addr base;
+  int prefix_len = 0;
+
+  [[nodiscard]] bool contains(Ipv4Addr addr) const noexcept {
+    if (prefix_len == 0) return true;
+    const std::uint32_t mask = ~std::uint32_t{0} << (32 - prefix_len);
+    return (addr.value() & mask) == (base.value() & mask);
+  }
+  [[nodiscard]] Ipv4Addr host(std::uint32_t index) const noexcept {
+    return Ipv4Addr(base.value() + index);
+  }
+  [[nodiscard]] std::string to_string() const {
+    return base.to_string() + "/" + std::to_string(prefix_len);
+  }
+};
+
+struct Endpoint {
+  Ipv4Addr ip;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint& a, const Endpoint& b) noexcept {
+    return a.ip == b.ip && a.port == b.port;
+  }
+  [[nodiscard]] std::string to_string() const {
+    return ip.to_string() + ":" + std::to_string(port);
+  }
+  [[nodiscard]] std::uint64_t key() const noexcept {
+    return (std::uint64_t{ip.value()} << 16) | port;
+  }
+};
+
+struct FourTuple {
+  Endpoint local;
+  Endpoint remote;
+
+  friend bool operator==(const FourTuple& a, const FourTuple& b) noexcept {
+    return a.local == b.local && a.remote == b.remote;
+  }
+  [[nodiscard]] std::string to_string() const {
+    return local.to_string() + "<->" + remote.to_string();
+  }
+};
+
+struct FourTupleHash {
+  std::size_t operator()(const FourTuple& t) const noexcept {
+    const std::uint64_t a = t.local.key();
+    const std::uint64_t b = t.remote.key();
+    std::uint64_t h = a * 0x9E3779B97F4A7C15ULL ^ (b + 0x7F4A7C15ULL);
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h * 0xBF58476D1CE4E5B9ULL);
+  }
+};
+
+}  // namespace freeflow::tcp

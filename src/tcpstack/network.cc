@@ -1,0 +1,135 @@
+#include "tcpstack/network.h"
+
+#include "common/logging.h"
+
+namespace freeflow::tcp {
+
+TcpNetwork::TcpNetwork(sim::EventLoop& loop, const sim::CostModel& model, PathBuilder& builder)
+    : loop_(loop), model_(model), builder_(builder) {}
+
+Status TcpNetwork::listen(const Endpoint& local, AcceptFn on_accept) {
+  if (local.port == 0) return invalid_argument("cannot listen on port 0");
+  auto [it, inserted] = listeners_.emplace(local.key(), Listener{std::move(on_accept)});
+  (void)it;
+  if (!inserted) {
+    // The host-mode port conflict of the paper, surfaced as an error.
+    return already_exists("endpoint " + local.to_string() + " already bound");
+  }
+  return ok_status();
+}
+
+void TcpNetwork::close_listener(const Endpoint& local) { listeners_.erase(local.key()); }
+
+void TcpNetwork::connect(Endpoint local, const Endpoint& remote, ConnectFn on_connected) {
+  if (local.port == 0) {
+    local.port = next_ephemeral_++;
+    if (next_ephemeral_ == 0) next_ephemeral_ = 40000;
+  }
+  auto forward = builder_.build(local, remote);
+  auto reverse = builder_.build(remote, local);
+  if (!forward.is_ok() || !reverse.is_ok()) {
+    Status error = forward.is_ok() ? reverse.status() : forward.status();
+    loop_.schedule(0, [cb = std::move(on_connected), error]() { cb(error); });
+    return;
+  }
+  const FourTuple flow{local, remote};
+  if (connections_.contains(flow)) {
+    loop_.schedule(0, [cb = std::move(on_connected), flow]() {
+      cb(already_exists("connection " + flow.to_string() + " exists"));
+    });
+    return;
+  }
+  auto forward_paths = std::make_shared<const PathPair>(std::move(forward.value()));
+  auto conn = std::make_shared<TcpConnection>(*this, flow, forward_paths, ConnState::syn_sent);
+  connections_.emplace(flow, conn);
+  pending_connects_.emplace(flow, std::move(on_connected));
+
+  auto syn = std::make_shared<Segment>();
+  syn->flow = flow;
+  syn->kind = SegKind::syn;
+  syn->syn_reverse = std::make_shared<const PathPair>(std::move(reverse.value()));
+  // The SYN itself travels the forward control path.
+  forward_paths->control.walk(std::move(syn), [this](SegmentPtr s) { demux(s); });
+}
+
+void TcpNetwork::forget(const FourTuple& flow) {
+  connections_.erase(flow);
+  pending_connects_.erase(flow);
+}
+
+void TcpNetwork::handle_syn(const SegmentPtr& seg) {
+  // seg->flow is from the initiator's perspective; we are the remote side.
+  const Endpoint& listen_at = seg->flow.remote;
+  const FourTuple flow{listen_at, seg->flow.local};
+  auto lit = listeners_.find(listen_at.key());
+  if (lit == listeners_.end()) {
+    // Connection refused: RST travels the reverse control path.
+    auto rst = std::make_shared<Segment>();
+    rst->flow = flow;
+    rst->kind = SegKind::rst;
+    if (seg->syn_reverse) {
+      seg->syn_reverse->control.walk(std::move(rst), [this](SegmentPtr s) { demux(s); });
+    }
+    return;
+  }
+  if (connections_.contains(flow)) return;  // duplicate SYN
+
+  auto conn = std::make_shared<TcpConnection>(*this, flow, seg->syn_reverse,
+                                              ConnState::syn_received);
+  connections_.emplace(flow, conn);
+  conn->send_control(SegKind::syn_ack);
+}
+
+void TcpNetwork::demux(const SegmentPtr& seg) {
+  const FourTuple flow{seg->flow.remote, seg->flow.local};
+
+  if (seg->kind == SegKind::syn) {
+    handle_syn(seg);
+    return;
+  }
+
+  auto it = connections_.find(flow);
+  if (it == connections_.end()) return;  // stray segment after close
+  TcpConnection::Ptr conn = it->second;  // keep alive through callbacks
+
+  if (seg->kind == SegKind::syn_ack) {
+    if (conn->state() == ConnState::syn_sent) {
+      conn->enter_established();
+      conn->send_control(SegKind::handshake_ack);
+      auto pit = pending_connects_.find(flow);
+      if (pit != pending_connects_.end()) {
+        ConnectFn cb = std::move(pit->second);
+        pending_connects_.erase(pit);
+        cb(conn);
+      }
+    }
+    return;
+  }
+
+  if (conn->state() == ConnState::syn_received &&
+      (seg->kind == SegKind::handshake_ack || seg->kind == SegKind::data ||
+       seg->kind == SegKind::ack || seg->kind == SegKind::fin)) {
+    // Promote: the handshake completed (possibly implied by early data).
+    conn->enter_established();
+    auto lit = listeners_.find(flow.local.key());
+    if (lit != listeners_.end() && lit->second.on_accept) {
+      lit->second.on_accept(conn);
+    }
+    if (seg->kind == SegKind::handshake_ack) return;
+  }
+
+  if (seg->kind == SegKind::rst && conn->state() == ConnState::syn_sent) {
+    auto pit = pending_connects_.find(flow);
+    if (pit != pending_connects_.end()) {
+      ConnectFn cb = std::move(pit->second);
+      pending_connects_.erase(pit);
+      cb(connection_refused("peer refused " + flow.to_string()));
+    }
+    forget(flow);
+    return;
+  }
+
+  conn->on_segment(seg);
+}
+
+}  // namespace freeflow::tcp

@@ -1,0 +1,74 @@
+#include "tcpstack/path.h"
+
+#include "shm/channel.h"
+
+namespace freeflow::tcp {
+
+namespace {
+/// Fabric packet body carrying a TCP segment and its pending continuation.
+struct WireBody final : fabric::PacketBody {
+  SegmentPtr seg;
+  std::function<void()> next;
+};
+}  // namespace
+
+void CpuHop::transit(const SegmentPtr& seg, std::function<void()> next) {
+  const double cost = cost_(*seg);
+  const double bus_bytes = bus_factor_ * static_cast<double>(seg->payload_bytes());
+  thread_->submit(cost, std::move(next), account_,
+                  bus_bytes > 0 ? &host_.membus() : nullptr, bus_bytes);
+}
+
+void WireHop::transit(const SegmentPtr& seg, std::function<void()> next) {
+  auto body = std::make_shared<WireBody>();
+  body->seg = seg;
+  body->next = std::move(next);
+  auto packet = std::make_shared<fabric::Packet>();
+  packet->dst_host = dst_;
+  packet->wire_bytes = seg->wire_bytes();
+  packet->kind = fabric::PacketKind::tcp_frame;
+  packet->body = std::move(body);
+  src_.nic().send(std::move(packet));
+}
+
+void WireHop::install_rx(fabric::Host& host) {
+  host.nic().set_rx_handler(fabric::PacketKind::tcp_frame, [](fabric::PacketPtr packet) {
+    auto body = fabric::body_as<WireBody>(packet);
+    if (body->next) body->next();
+  });
+}
+
+void DelayHop::transit(const SegmentPtr& seg, std::function<void()> next) {
+  (void)seg;
+  loop_.schedule(delay_, std::move(next));
+}
+
+void LossHop::transit(const SegmentPtr& seg, std::function<void()> next) {
+  (void)seg;
+  if (rng_.chance(p_)) {
+    ++dropped_;
+    return;  // dropped: continuation never fires
+  }
+  next();
+}
+
+void Path::walk(SegmentPtr seg, std::function<void(SegmentPtr)> deliver) const {
+  auto hops = std::make_shared<const std::vector<std::shared_ptr<Hop>>>(hops_);
+  step(std::move(hops), 0, std::move(seg),
+       std::make_shared<std::function<void(SegmentPtr)>>(std::move(deliver)));
+}
+
+void Path::step(std::shared_ptr<const std::vector<std::shared_ptr<Hop>>> hops,
+                std::size_t index, SegmentPtr seg,
+                std::shared_ptr<std::function<void(SegmentPtr)>> deliver) {
+  if (index >= hops->size()) {
+    if (*deliver) (*deliver)(std::move(seg));
+    return;
+  }
+  Hop& hop = *(*hops)[index];
+  hop.transit(seg, [hops = std::move(hops), index, seg, deliver = std::move(deliver)]() mutable {
+    step(std::move(hops), index + 1, std::move(seg), std::move(deliver));
+  });
+}
+
+}  // namespace freeflow::tcp

@@ -1,0 +1,129 @@
+// Packet paths: a segment traverses an ordered chain of hops, each charging
+// work to the resource it models (sender stack CPU, veth+bridge softirq,
+// overlay router core, NIC wire, receiver softirq) before delivery. The
+// "hairpin" penalties of container networking (paper Fig. 1) are expressed
+// entirely as hop composition, so one TCP implementation serves host mode,
+// bridge mode, overlay mode and FreeFlow's fallback alike.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "fabric/host.h"
+#include "fabric/packet.h"
+#include "sim/resource.h"
+#include "tcpstack/segment.h"
+
+namespace freeflow::tcp {
+
+class Hop {
+ public:
+  virtual ~Hop() = default;
+  /// Processes `seg`; invokes `next` when the segment moves on. A hop that
+  /// drops the segment simply never calls `next`.
+  virtual void transit(const SegmentPtr& seg, std::function<void()> next) = 0;
+};
+
+/// Charges CPU work on a host before forwarding. The work runs on a
+/// SerialExecutor ("software thread"): per-thread processing is serialized,
+/// which is what CPU-bounds a single flow even on a multicore host. The
+/// executor is shared between hops that execute in the same context (e.g.
+/// the sender's stack + veth/bridge softirq, or one software router).
+class CpuHop final : public Hop {
+ public:
+  using CostFn = std::function<double(const Segment&)>;
+
+  CpuHop(fabric::Host& host, std::shared_ptr<sim::SerialExecutor> thread, CostFn cost,
+         sim::UsageAccount* account = nullptr,
+         double bus_bytes_per_payload_byte = 0.0)
+      : host_(host),
+        thread_(std::move(thread)),
+        cost_(std::move(cost)),
+        account_(account),
+        bus_factor_(bus_bytes_per_payload_byte) {}
+
+  void transit(const SegmentPtr& seg, std::function<void()> next) override;
+
+ private:
+  fabric::Host& host_;
+  std::shared_ptr<sim::SerialExecutor> thread_;
+  CostFn cost_;
+  sim::UsageAccount* account_;
+  double bus_factor_;
+};
+
+/// Serializes onto the source NIC and crosses the switch to the
+/// destination host, where the walk continues.
+class WireHop final : public Hop {
+ public:
+  WireHop(fabric::Host& src, fabric::HostId dst) : src_(src), dst_(dst) {}
+
+  void transit(const SegmentPtr& seg, std::function<void()> next) override;
+
+  /// Installs the tcp_frame receive handler on a host's NIC. Must be called
+  /// once per host that terminates wire hops.
+  static void install_rx(fabric::Host& host);
+
+ private:
+  fabric::Host& src_;
+  fabric::HostId dst_;
+};
+
+/// Pure latency (e.g. scheduler wakeup when data reaches a blocked app).
+class DelayHop final : public Hop {
+ public:
+  DelayHop(sim::EventLoop& loop, SimDuration delay) : loop_(loop), delay_(delay) {}
+
+  void transit(const SegmentPtr& seg, std::function<void()> next) override;
+
+ private:
+  sim::EventLoop& loop_;
+  SimDuration delay_;
+};
+
+/// Drops segments with probability p (fault injection for retransmit tests).
+class LossHop final : public Hop {
+ public:
+  LossHop(Rng& rng, double drop_probability) : rng_(rng), p_(drop_probability) {}
+
+  void transit(const SegmentPtr& seg, std::function<void()> next) override;
+
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  Rng& rng_;
+  double p_;
+  std::uint64_t dropped_ = 0;
+};
+
+class Path {
+ public:
+  Path() = default;
+  explicit Path(std::vector<std::shared_ptr<Hop>> hops) : hops_(std::move(hops)) {}
+
+  void add(std::shared_ptr<Hop> hop) { hops_.push_back(std::move(hop)); }
+
+  /// Sends `seg` through every hop; `deliver` fires at the far end (never,
+  /// if a hop drops the segment).
+  void walk(SegmentPtr seg, std::function<void(SegmentPtr)> deliver) const;
+
+  [[nodiscard]] std::size_t hop_count() const noexcept { return hops_.size(); }
+
+ private:
+  static void step(std::shared_ptr<const std::vector<std::shared_ptr<Hop>>> hops,
+                   std::size_t index, SegmentPtr seg,
+                   std::shared_ptr<std::function<void(SegmentPtr)>> deliver);
+
+  std::vector<std::shared_ptr<Hop>> hops_;
+};
+
+/// Paths from one endpoint toward its peer: full-cost data path and a
+/// lightweight control path for SYN/ACK/FIN segments.
+struct PathPair {
+  Path data;
+  Path control;
+};
+
+}  // namespace freeflow::tcp

@@ -1,0 +1,2 @@
+// RoutingTable is header-only (template); this TU anchors the library.
+#include "tcpstack/routing.h"

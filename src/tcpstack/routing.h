@@ -1,0 +1,59 @@
+// Longest-prefix-match routing table. Used by the overlay routers to map
+// container IPs (and subnets learned via the BGP-lite exchange) to next
+// hops, and unit-tested as a standalone component.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "tcpstack/ip.h"
+
+namespace freeflow::tcp {
+
+template <typename NextHop>
+class RoutingTable {
+ public:
+  /// Adds or replaces the route for `subnet`.
+  void add_route(const Subnet& subnet, NextHop hop) {
+    for (auto& e : entries_) {
+      if (e.subnet.base == subnet.base && e.subnet.prefix_len == subnet.prefix_len) {
+        e.hop = std::move(hop);
+        return;
+      }
+    }
+    entries_.push_back({subnet, std::move(hop)});
+  }
+
+  void remove_route(const Subnet& subnet) {
+    std::erase_if(entries_, [&](const Entry& e) {
+      return e.subnet.base == subnet.base && e.subnet.prefix_len == subnet.prefix_len;
+    });
+  }
+
+  /// Longest-prefix match; nullopt when no route covers `addr`.
+  [[nodiscard]] std::optional<NextHop> lookup(Ipv4Addr addr) const {
+    const Entry* best = nullptr;
+    for (const auto& e : entries_) {
+      if (e.subnet.contains(addr) &&
+          (best == nullptr || e.subnet.prefix_len > best->subnet.prefix_len)) {
+        best = &e;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return best->hop;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  struct Entry {
+    Subnet subnet;
+    NextHop hop;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace freeflow::tcp

@@ -1,0 +1,45 @@
+// TCP segments as they travel through the simulation. A "segment" here is a
+// GSO-sized chunk (up to CostModel::tcp_chunk_bytes): modern stacks hand such
+// chunks down in one syscall/softirq unit, which is also the natural event
+// granularity for the simulation. Wire size accounts for the per-MTU-packet
+// header overhead the chunk incurs once serialized.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+#include "fabric/packet.h"
+#include "tcpstack/ip.h"
+
+namespace freeflow::tcp {
+
+enum class SegKind : std::uint8_t { syn, syn_ack, handshake_ack, data, ack, fin, rst };
+
+struct PathPair;  // path.h
+
+struct Segment {
+  FourTuple flow;          ///< from the *sender's* perspective
+  SegKind kind = SegKind::data;
+  std::uint64_t seq = 0;   ///< data: chunk index; ack: cumulative next-expected
+  Buffer payload;          ///< data segments only
+  /// SYN only: paths the responder should use back toward the initiator.
+  std::shared_ptr<const PathPair> syn_reverse;
+
+  [[nodiscard]] std::uint32_t payload_bytes() const noexcept {
+    return static_cast<std::uint32_t>(payload.size());
+  }
+
+  /// Bytes on the wire: payload + Ethernet/IP/TCP headers per MTU packet.
+  [[nodiscard]] std::uint32_t wire_bytes() const noexcept {
+    constexpr std::uint32_t k_mss = 1448;
+    constexpr std::uint32_t k_hdr = 78;
+    const std::uint32_t n = payload_bytes();
+    const std::uint32_t pkts = n == 0 ? 1 : (n + k_mss - 1) / k_mss;
+    return n + pkts * k_hdr;
+  }
+};
+
+using SegmentPtr = std::shared_ptr<Segment>;
+
+}  // namespace freeflow::tcp

@@ -1,0 +1,413 @@
+#include "workloads/drivers.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "core/socket.h"
+#include "rdma/cm.h"
+
+namespace freeflow::workloads {
+
+namespace {
+
+void run_to(fabric::Cluster& cluster, SimTime deadline) {
+  cluster.loop().run_until(deadline);
+}
+
+bool spin_until(fabric::Cluster& cluster, const std::function<bool()>& pred,
+                SimDuration budget) {
+  const SimTime deadline = cluster.loop().now() + budget;
+  for (;;) {
+    if (pred()) return true;
+    if (cluster.loop().now() >= deadline || !cluster.loop().step()) return false;
+  }
+}
+
+/// Snapshot + finalize resource utilization over a measurement window.
+struct UtilProbe {
+  explicit UtilProbe(fabric::Cluster& cluster) : cluster_(cluster) {}
+
+  void mark() {
+    for (std::size_t h = 0; h < cluster_.host_count(); ++h) {
+      auto& host = cluster_.host(static_cast<fabric::HostId>(h));
+      host.cpu().mark();
+      host.nic().processor().mark();
+      host.membus().mark();
+    }
+  }
+
+  void fill(ThroughputReport& report) const {
+    for (std::size_t h = 0; h < cluster_.host_count(); ++h) {
+      auto& host = cluster_.host(static_cast<fabric::HostId>(h));
+      report.host_cpu_cores += host.cpu().cores_busy_since_mark();
+      report.nic_proc_util =
+          std::max(report.nic_proc_util, host.nic().processor().utilization_since_mark());
+      report.membus_util =
+          std::max(report.membus_util, host.membus().utilization_since_mark());
+    }
+  }
+
+  fabric::Cluster& cluster_;
+};
+
+SimDuration median(std::vector<SimDuration> samples) {
+  FF_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+constexpr SimDuration k_warmup = 5 * k_millisecond;
+
+}  // namespace
+
+// ------------------------------------------------------------- TCP stream
+
+ThroughputReport drive_tcp_stream(
+    fabric::Cluster& cluster, tcp::TcpNetwork& net,
+    const std::vector<std::pair<tcp::Endpoint, tcp::Endpoint>>& pairs,
+    std::size_t msg_bytes, SimDuration window) {
+  auto rx_bytes = std::make_shared<std::uint64_t>(0);
+  std::vector<tcp::TcpConnection::Ptr> senders;
+
+  std::uint16_t port_salt = 0;
+  for (const auto& [src, dst] : pairs) {
+    tcp::Endpoint listen_at = dst;
+    listen_at.port = static_cast<std::uint16_t>(dst.port + port_salt++);
+    const Status listening = net.listen(listen_at, [rx_bytes](tcp::TcpConnection::Ptr c) {
+      c->set_on_data([rx_bytes](Buffer&& b) { *rx_bytes += b.size(); });
+    });
+    FF_CHECK(listening.is_ok());
+    net.connect(src, listen_at, [&senders](Result<tcp::TcpConnection::Ptr> c) {
+      FF_CHECK(c.is_ok());
+      senders.push_back(*c);
+    });
+  }
+  FF_CHECK(spin_until(cluster, [&]() { return senders.size() == pairs.size(); },
+                      10 * k_second));
+
+  // Closed-loop: keep each send buffer full.
+  for (auto& conn : senders) {
+    auto pump = std::make_shared<std::function<void()>>();
+    tcp::TcpConnection* raw = conn.get();
+    *pump = [raw, msg_bytes, pump]() {
+      while (raw->send(Buffer(msg_bytes)).is_ok()) {
+      }
+    };
+    conn->set_on_writable([pump]() { (*pump)(); });
+    (*pump)();
+  }
+
+  run_to(cluster, cluster.loop().now() + k_warmup);
+  UtilProbe probe(cluster);
+  probe.mark();
+  const std::uint64_t start_bytes = *rx_bytes;
+  const SimTime start = cluster.loop().now();
+  run_to(cluster, start + window);
+
+  ThroughputReport report;
+  report.bytes = *rx_bytes - start_bytes;
+  report.window = cluster.loop().now() - start;
+  report.goodput_gbps = throughput_gbps(report.bytes, report.window);
+  probe.fill(report);
+  return report;
+}
+
+SimDuration tcp_rtt(fabric::Cluster& cluster, tcp::TcpNetwork& net, tcp::Endpoint src,
+                    tcp::Endpoint dst, std::size_t msg_bytes, int iters) {
+  tcp::TcpConnection::Ptr client;
+  const Status listening = net.listen(dst, [msg_bytes](tcp::TcpConnection::Ptr c) {
+    auto pending = std::make_shared<std::size_t>(0);
+    tcp::TcpConnection* raw = c.get();
+    c->set_on_data([raw, pending, msg_bytes](Buffer&& b) {
+      *pending += b.size();
+      while (*pending >= msg_bytes) {
+        *pending -= msg_bytes;
+        FF_CHECK(raw->send(Buffer(msg_bytes)).is_ok());
+      }
+    });
+  });
+  FF_CHECK(listening.is_ok());
+  net.connect(src, dst, [&client](Result<tcp::TcpConnection::Ptr> c) {
+    FF_CHECK(c.is_ok());
+    client = *c;
+  });
+  FF_CHECK(spin_until(cluster, [&]() { return client != nullptr; }, 10 * k_second));
+
+  std::vector<SimDuration> samples;
+  auto got = std::make_shared<std::size_t>(0);
+  client->set_on_data([got](Buffer&& b) { *got += b.size(); });
+  for (int i = 0; i < iters; ++i) {
+    *got = 0;
+    const SimTime t0 = cluster.loop().now();
+    FF_CHECK(client->send(Buffer(msg_bytes)).is_ok());
+    FF_CHECK(spin_until(cluster, [&]() { return *got >= msg_bytes; }, 10 * k_second));
+    samples.push_back(cluster.loop().now() - t0);
+  }
+  return median(std::move(samples));
+}
+
+// ------------------------------------------------------------- shm stream
+
+ThroughputReport drive_shm_stream(fabric::Cluster& cluster, fabric::HostId host_id,
+                                  int pairs, std::size_t msg_bytes, SimDuration window) {
+  auto& host = cluster.host(host_id);
+  auto rx_bytes = std::make_shared<std::uint64_t>(0);
+  std::vector<std::unique_ptr<shm::ShmLane>> lanes;
+  for (int p = 0; p < pairs; ++p) {
+    auto lane = std::make_unique<shm::ShmLane>(host, 8 * msg_bytes + 4096);
+    shm::ShmLane* raw = lane.get();
+    lane->set_receiver([rx_bytes](Buffer&& b) { *rx_bytes += b.size(); });
+    auto refill = [raw, msg_bytes]() {
+      while (raw->can_send(msg_bytes)) {
+        FF_CHECK(raw->send(Buffer(msg_bytes).view()).is_ok());
+      }
+    };
+    lane->set_on_space(refill);
+    refill();
+    lanes.push_back(std::move(lane));
+  }
+
+  run_to(cluster, cluster.loop().now() + k_warmup);
+  UtilProbe probe(cluster);
+  probe.mark();
+  const std::uint64_t start_bytes = *rx_bytes;
+  const SimTime start = cluster.loop().now();
+  run_to(cluster, start + window);
+
+  ThroughputReport report;
+  report.bytes = *rx_bytes - start_bytes;
+  report.window = cluster.loop().now() - start;
+  report.goodput_gbps = throughput_gbps(report.bytes, report.window);
+  probe.fill(report);
+
+  // Quiesce before the lanes die: stop refilling and drain in-flight
+  // deliveries so no event still references a destroyed lane.
+  for (auto& lane : lanes) lane->set_on_space(nullptr);
+  run_to(cluster, cluster.loop().now() + 20 * k_millisecond);
+  for (auto& lane : lanes) FF_CHECK(lane->ring().empty());
+  return report;
+}
+
+SimDuration shm_rtt(fabric::Cluster& cluster, fabric::HostId host_id,
+                    std::size_t msg_bytes, int iters) {
+  auto& host = cluster.host(host_id);
+  shm::ShmLane forth(host, 16 * (msg_bytes + 64));
+  shm::ShmLane back(host, 16 * (msg_bytes + 64));
+  back.set_receiver([](Buffer&&) {});
+  forth.set_receiver([&back](Buffer&& b) { FF_CHECK(back.send(b.view()).is_ok()); });
+
+  std::vector<SimDuration> samples;
+  for (int i = 0; i < iters; ++i) {
+    bool done = false;
+    back.set_receiver([&done](Buffer&&) { done = true; });
+    const SimTime t0 = cluster.loop().now();
+    FF_CHECK(forth.send(Buffer(msg_bytes).view()).is_ok());
+    FF_CHECK(spin_until(cluster, [&]() { return done; }, k_second));
+    samples.push_back(cluster.loop().now() - t0);
+  }
+  return median(std::move(samples));
+}
+
+// ------------------------------------------------------------ RDMA stream
+
+ThroughputReport drive_rdma_stream(fabric::Cluster& cluster, rdma::RdmaDevice& src_dev,
+                                   rdma::RdmaDevice& dst_dev, int pairs,
+                                   std::size_t msg_bytes, SimDuration window) {
+  auto rx_bytes = std::make_shared<std::uint64_t>(0);
+
+  struct Flow {
+    std::shared_ptr<rdma::QueuePair> qa, qb;
+    rdma::MrPtr src, dst;
+    int inflight = 0;
+  };
+  std::vector<std::shared_ptr<Flow>> flows;
+
+  for (int p = 0; p < pairs; ++p) {
+    auto flow = std::make_shared<Flow>();
+    flow->qa = src_dev.create_qp(src_dev.create_cq(), src_dev.create_cq());
+    flow->qb = dst_dev.create_qp(dst_dev.create_cq(), dst_dev.create_cq());
+    FF_CHECK(rdma::connect_pair(*flow->qa, *flow->qb).is_ok());
+    flow->src = src_dev.reg_mr(msg_bytes);
+    flow->dst = dst_dev.reg_mr(msg_bytes);
+
+    auto pump = std::make_shared<std::function<void()>>();
+    *pump = [flow, msg_bytes]() {
+      while (flow->inflight < 8) {
+        rdma::SendWr wr;
+        wr.opcode = rdma::Opcode::write;
+        wr.local = {flow->src, 0, msg_bytes};
+        wr.remote = {flow->dst->rkey(), 0};
+        FF_CHECK(flow->qa->post_send(wr).is_ok());
+        ++flow->inflight;
+      }
+    };
+    flow->qa->send_cq()->set_notify([flow, pump, rx_bytes, msg_bytes]() {
+      rdma::WorkCompletion wc;
+      while (flow->qa->send_cq()->poll({&wc, 1}) == 1) {
+        --flow->inflight;
+        *rx_bytes += msg_bytes;
+      }
+      (*pump)();
+    });
+    (*pump)();
+    flows.push_back(flow);
+  }
+
+  run_to(cluster, cluster.loop().now() + k_warmup);
+  UtilProbe probe(cluster);
+  probe.mark();
+  const std::uint64_t start_bytes = *rx_bytes;
+  const SimTime start = cluster.loop().now();
+  run_to(cluster, start + window);
+
+  ThroughputReport report;
+  report.bytes = *rx_bytes - start_bytes;
+  report.window = cluster.loop().now() - start;
+  report.goodput_gbps = throughput_gbps(report.bytes, report.window);
+  probe.fill(report);
+  return report;
+}
+
+SimDuration rdma_rtt(fabric::Cluster& cluster, rdma::RdmaDevice& a, rdma::RdmaDevice& b,
+                     std::size_t msg_bytes, int iters) {
+  auto qa = a.create_qp(a.create_cq(), a.create_cq());
+  auto qb = b.create_qp(b.create_cq(), b.create_cq());
+  FF_CHECK(rdma::connect_pair(*qa, *qb).is_ok());
+  auto mra = a.reg_mr(msg_bytes);
+  auto mrb = b.reg_mr(msg_bytes);
+
+  // Echo server: on recv completion, send back.
+  auto repost_b = [qb, mrb, msg_bytes]() {
+    rdma::RecvWr r;
+    r.local = {mrb, 0, msg_bytes};
+    FF_CHECK(qb->post_recv(r).is_ok());
+  };
+  repost_b();
+  qb->recv_cq()->set_notify([qb, mrb, msg_bytes, repost_b]() {
+    rdma::WorkCompletion wc;
+    while (qb->recv_cq()->poll({&wc, 1}) == 1) {
+      repost_b();
+      rdma::SendWr s;
+      s.local = {mrb, 0, msg_bytes};
+      FF_CHECK(qb->post_send(s).is_ok());
+    }
+  });
+
+  std::vector<SimDuration> samples;
+  for (int i = 0; i < iters; ++i) {
+    bool done = false;
+    rdma::RecvWr r;
+    r.local = {mra, 0, msg_bytes};
+    FF_CHECK(qa->post_recv(r).is_ok());
+    qa->recv_cq()->set_notify([&]() {
+      rdma::WorkCompletion wc;
+      while (qa->recv_cq()->poll({&wc, 1}) == 1) done = true;
+    });
+    const SimTime t0 = cluster.loop().now();
+    rdma::SendWr s;
+    s.local = {mra, 0, msg_bytes};
+    FF_CHECK(qa->post_send(s).is_ok());
+    FF_CHECK(spin_until(cluster, [&]() { return done; }, 10 * k_second));
+    samples.push_back(cluster.loop().now() - t0);
+  }
+  return median(std::move(samples));
+}
+
+// -------------------------------------------------------- FreeFlow stream
+
+namespace {
+core::FlowSocketPtr open_ff_socket(fabric::Cluster& cluster, core::ContainerNetPtr from,
+                                   core::ContainerNetPtr to, tcp::Ipv4Addr to_ip,
+                                   std::uint16_t port,
+                                   std::function<void(core::FlowSocketPtr)> on_server) {
+  core::FlowSocketPtr client;
+  FF_CHECK(to->sock_listen(port, std::move(on_server)).is_ok());
+  from->sock_connect(to_ip, port, [&client](Result<core::FlowSocketPtr> s) {
+    FF_CHECK(s.is_ok());
+    client = *s;
+  });
+  FF_CHECK(spin_until(cluster, [&]() { return client != nullptr; }, 10 * k_second));
+  return client;
+}
+}  // namespace
+
+ThroughputReport drive_freeflow_stream(fabric::Cluster& cluster,
+                                       core::ContainerNetPtr from,
+                                       core::ContainerNetPtr to, tcp::Ipv4Addr to_ip,
+                                       std::uint16_t port, std::size_t msg_bytes,
+                                       SimDuration window) {
+  auto rx_bytes = std::make_shared<std::uint64_t>(0);
+  core::FlowSocketPtr client =
+      open_ff_socket(cluster, from, to, to_ip, port, [rx_bytes](core::FlowSocketPtr s) {
+        auto held = std::make_shared<core::FlowSocketPtr>(s);
+        s->set_on_data([rx_bytes, held](Buffer&& b) { *rx_bytes += b.size(); });
+      });
+
+  // Pace on the conduit's writability so memory stays bounded. The pump
+  // owns the socket (shared_ptr capture) so later loop activity is safe.
+  auto stopped = std::make_shared<bool>(false);
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [client, msg_bytes, stopped]() {
+    if (*stopped) return;
+    while (client->writable()) {
+      FF_CHECK(client->send(Buffer(msg_bytes)).is_ok());
+    }
+  };
+  client->set_on_space([pump]() { (*pump)(); });
+  (*pump)();
+  // Writability can also return via delivered messages; re-pump on a timer.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&cluster, pump, tick, stopped]() {
+    if (*stopped) return;
+    (*pump)();
+    cluster.loop().schedule(20 * k_microsecond, [tick]() { (*tick)(); });
+  };
+  (*tick)();
+
+  run_to(cluster, cluster.loop().now() + k_warmup);
+  UtilProbe probe(cluster);
+  probe.mark();
+  const std::uint64_t start_bytes = *rx_bytes;
+  const SimTime start = cluster.loop().now();
+  run_to(cluster, start + window);
+
+  ThroughputReport report;
+  report.bytes = *rx_bytes - start_bytes;
+  report.window = cluster.loop().now() - start;
+  report.goodput_gbps = throughput_gbps(report.bytes, report.window);
+  probe.fill(report);
+  *stopped = true;  // quiesce the pump/tick; the socket stays alive in them
+  return report;
+}
+
+SimDuration freeflow_rtt(fabric::Cluster& cluster, core::ContainerNetPtr from,
+                         core::ContainerNetPtr to, tcp::Ipv4Addr to_ip,
+                         std::uint16_t port, std::size_t msg_bytes, int iters) {
+  core::FlowSocketPtr client =
+      open_ff_socket(cluster, from, to, to_ip, port, [msg_bytes](core::FlowSocketPtr s) {
+        auto held = std::make_shared<core::FlowSocketPtr>(s);
+        auto pending = std::make_shared<std::size_t>(0);
+        s->set_on_data([held, pending, msg_bytes](Buffer&& b) {
+          *pending += b.size();
+          while (*pending >= msg_bytes) {
+            *pending -= msg_bytes;
+            FF_CHECK((*held)->send(Buffer(msg_bytes)).is_ok());
+          }
+        });
+      });
+
+  std::vector<SimDuration> samples;
+  auto got = std::make_shared<std::size_t>(0);
+  client->set_on_data([got](Buffer&& b) { *got += b.size(); });
+  for (int i = 0; i < iters; ++i) {
+    *got = 0;
+    const SimTime t0 = cluster.loop().now();
+    FF_CHECK(client->send(Buffer(msg_bytes)).is_ok());
+    FF_CHECK(spin_until(cluster, [&]() { return *got >= msg_bytes; }, 10 * k_second));
+    samples.push_back(cluster.loop().now() - t0);
+  }
+  return median(std::move(samples));
+}
+
+}  // namespace freeflow::workloads

@@ -1,0 +1,65 @@
+// Measurement drivers shared by the calibration tests and the benchmark
+// harness: closed-loop streaming (throughput + CPU) and ping-pong (latency)
+// over each data plane — kernel TCP (any mode via its path builder), raw
+// shm lanes, raw RDMA verbs, and FreeFlow sockets.
+#pragma once
+
+#include <vector>
+
+#include "core/container_net.h"
+#include "fabric/cluster.h"
+#include "rdma/device.h"
+#include "rdma/queue_pair.h"
+#include "shm/channel.h"
+#include "tcpstack/network.h"
+
+namespace freeflow::workloads {
+
+struct ThroughputReport {
+  double goodput_gbps = 0;
+  double host_cpu_cores = 0;   ///< cores busy across all hosts (like `top`)
+  double nic_proc_util = 0;    ///< max NIC-processor utilization observed
+  double membus_util = 0;      ///< max memory-bus utilization observed
+  std::uint64_t bytes = 0;
+  SimDuration window = 0;
+};
+
+/// Streams `msg_bytes` messages closed-loop over `pairs` TCP connections
+/// for `window`, after the connections are up. Mode is encoded in the
+/// TcpNetwork's path builder.
+ThroughputReport drive_tcp_stream(fabric::Cluster& cluster, tcp::TcpNetwork& net,
+                                  const std::vector<std::pair<tcp::Endpoint, tcp::Endpoint>>& pairs,
+                                  std::size_t msg_bytes, SimDuration window);
+
+/// Request/response RTT over one TCP connection (median of `iters`).
+SimDuration tcp_rtt(fabric::Cluster& cluster, tcp::TcpNetwork& net, tcp::Endpoint src,
+                    tcp::Endpoint dst, std::size_t msg_bytes, int iters);
+
+/// Raw shm lanes between container pairs on one host.
+ThroughputReport drive_shm_stream(fabric::Cluster& cluster, fabric::HostId host,
+                                  int pairs, std::size_t msg_bytes, SimDuration window);
+
+SimDuration shm_rtt(fabric::Cluster& cluster, fabric::HostId host, std::size_t msg_bytes,
+                    int iters);
+
+/// Raw RDMA WRITE streaming over `pairs` QPs between two devices (which may
+/// live on the same host: the hairpin case).
+ThroughputReport drive_rdma_stream(fabric::Cluster& cluster, rdma::RdmaDevice& src_dev,
+                                   rdma::RdmaDevice& dst_dev, int pairs,
+                                   std::size_t msg_bytes, SimDuration window);
+
+SimDuration rdma_rtt(fabric::Cluster& cluster, rdma::RdmaDevice& a, rdma::RdmaDevice& b,
+                     std::size_t msg_bytes, int iters);
+
+/// FreeFlow socket streaming between two attached containers.
+ThroughputReport drive_freeflow_stream(fabric::Cluster& cluster,
+                                       core::ContainerNetPtr from,
+                                       core::ContainerNetPtr to, tcp::Ipv4Addr to_ip,
+                                       std::uint16_t port, std::size_t msg_bytes,
+                                       SimDuration window);
+
+SimDuration freeflow_rtt(fabric::Cluster& cluster, core::ContainerNetPtr from,
+                         core::ContainerNetPtr to, tcp::Ipv4Addr to_ip,
+                         std::uint16_t port, std::size_t msg_bytes, int iters);
+
+}  // namespace freeflow::workloads

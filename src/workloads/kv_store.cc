@@ -1,0 +1,176 @@
+#include "workloads/kv_store.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace freeflow::workloads {
+
+// ------------------------------------------------------------ RecordStream
+
+RecordStream::RecordStream(StreamPtr stream, RecordFn on_record)
+    : stream_(std::move(stream)), accum_(std::make_shared<Buffer>()) {
+  stream_->set_on_data([accum = accum_, cb = std::move(on_record)](Buffer&& chunk) {
+    accum->append(chunk.view());
+    std::size_t cursor = 0;
+    while (accum->size() - cursor >= 4) {
+      std::uint32_t len = 0;
+      std::memcpy(&len, accum->data() + cursor, 4);
+      if (accum->size() - cursor - 4 < len) break;
+      cb(ByteSpan{accum->data() + cursor + 4, len});
+      cursor += 4 + len;
+    }
+    if (cursor > 0) {
+      Buffer rest(accum->data() + cursor, accum->size() - cursor);
+      *accum = std::move(rest);
+    }
+  });
+}
+
+Status RecordStream::send_record(ByteSpan record) {
+  Buffer framed(4 + record.size());
+  const auto len = static_cast<std::uint32_t>(record.size());
+  std::memcpy(framed.data(), &len, 4);
+  std::memcpy(framed.data() + 4, record.data(), record.size());
+  return stream_->send(std::move(framed));
+}
+
+// ---------------------------------------------------------------- KvServer
+
+namespace {
+constexpr std::size_t k_req_header = 1 + 8 + 2 + 4;
+constexpr std::size_t k_resp_header = 1 + 8 + 4;
+}  // namespace
+
+void KvServer::serve(StreamPtr stream) {
+  // The RecordStream is owned by the on_data closure chain.
+  auto rs = std::make_shared<std::unique_ptr<RecordStream>>();
+  *rs = std::make_unique<RecordStream>(stream, [this, stream, rs](ByteSpan record) {
+    (void)rs;  // keep the parser alive as long as the stream feeds it
+    handle_record(stream, record);
+  });
+}
+
+void KvServer::handle_record(const StreamPtr& stream, ByteSpan record) {
+  if (record.size() < k_req_header) return;
+  const auto op = static_cast<KvOp>(record[0]);
+  std::uint64_t req_id = 0;
+  std::uint16_t klen = 0;
+  std::uint32_t vlen = 0;
+  std::memcpy(&req_id, record.data() + 1, 8);
+  std::memcpy(&klen, record.data() + 9, 2);
+  std::memcpy(&vlen, record.data() + 11, 4);
+  if (record.size() < k_req_header + klen + (op == KvOp::put ? vlen : 0)) return;
+
+  std::string key(reinterpret_cast<const char*>(record.data() + k_req_header), klen);
+  ++served_;
+
+  KvStatus status = KvStatus::ok;
+  const Buffer* value = nullptr;
+  if (op == KvOp::put) {
+    (*store_)[key] = Buffer(record.data() + k_req_header + klen, vlen);
+  } else {
+    auto it = store_->find(key);
+    if (it == store_->end()) {
+      status = KvStatus::not_found;
+    } else {
+      value = &it->second;
+    }
+  }
+
+  const std::uint32_t out_vlen =
+      (op == KvOp::get && value != nullptr) ? static_cast<std::uint32_t>(value->size()) : 0;
+  Buffer resp(4 + k_resp_header + out_vlen);
+  const auto total = static_cast<std::uint32_t>(k_resp_header + out_vlen);
+  std::memcpy(resp.data(), &total, 4);
+  resp.data()[4] = static_cast<std::byte>(status);
+  std::memcpy(resp.data() + 5, &req_id, 8);
+  std::memcpy(resp.data() + 13, &out_vlen, 4);
+  if (out_vlen != 0) std::memcpy(resp.data() + 17, value->data(), out_vlen);
+  (void)stream->send(std::move(resp));
+}
+
+// ---------------------------------------------------------------- KvClient
+
+KvClient::KvClient(StreamPtr stream) : stream_(std::move(stream)) {
+  auto accum = std::make_shared<Buffer>();
+  stream_->set_on_data([this, accum](Buffer&& chunk) {
+    accum->append(chunk.view());
+    std::size_t cursor = 0;
+    while (accum->size() - cursor >= 4) {
+      std::uint32_t len = 0;
+      std::memcpy(&len, accum->data() + cursor, 4);
+      if (accum->size() - cursor - 4 < len) break;
+      handle_record(ByteSpan{accum->data() + cursor + 4, len});
+      cursor += 4 + len;
+    }
+    if (cursor > 0) {
+      Buffer rest(accum->data() + cursor, accum->size() - cursor);
+      *accum = std::move(rest);
+    }
+  });
+}
+
+void KvClient::get(std::string key, GetFn cb) {
+  const std::uint64_t id = next_req_++;
+  Pending p;
+  p.on_get = std::move(cb);
+  p.started = now_ ? now_() : 0;
+  pending_.emplace(id, std::move(p));
+
+  const auto klen = static_cast<std::uint16_t>(key.size());
+  Buffer req(4 + k_req_header + key.size());
+  const auto total = static_cast<std::uint32_t>(k_req_header + key.size());
+  std::memcpy(req.data(), &total, 4);
+  req.data()[4] = static_cast<std::byte>(KvOp::get);
+  std::memcpy(req.data() + 5, &id, 8);
+  std::memcpy(req.data() + 13, &klen, 2);
+  const std::uint32_t vlen = 0;
+  std::memcpy(req.data() + 15, &vlen, 4);
+  std::memcpy(req.data() + 19, key.data(), key.size());
+  (void)stream_->send(std::move(req));
+}
+
+void KvClient::put(std::string key, Buffer value, PutFn cb) {
+  const std::uint64_t id = next_req_++;
+  Pending p;
+  p.on_put = std::move(cb);
+  p.started = now_ ? now_() : 0;
+  pending_.emplace(id, std::move(p));
+
+  const auto klen = static_cast<std::uint16_t>(key.size());
+  const auto vlen = static_cast<std::uint32_t>(value.size());
+  Buffer req(4 + k_req_header + key.size() + value.size());
+  const auto total = static_cast<std::uint32_t>(k_req_header + key.size() + value.size());
+  std::memcpy(req.data(), &total, 4);
+  req.data()[4] = static_cast<std::byte>(KvOp::put);
+  std::memcpy(req.data() + 5, &id, 8);
+  std::memcpy(req.data() + 13, &klen, 2);
+  std::memcpy(req.data() + 15, &vlen, 4);
+  std::memcpy(req.data() + 19, key.data(), key.size());
+  std::memcpy(req.data() + 19 + key.size(), value.data(), value.size());
+  (void)stream_->send(std::move(req));
+}
+
+void KvClient::handle_record(ByteSpan record) {
+  if (record.size() < k_resp_header) return;
+  const auto status = static_cast<KvStatus>(record[0]);
+  std::uint64_t req_id = 0;
+  std::uint32_t vlen = 0;
+  std::memcpy(&req_id, record.data() + 1, 8);
+  std::memcpy(&vlen, record.data() + 9, 4);
+
+  auto it = pending_.find(req_id);
+  if (it == pending_.end()) return;
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  ++completed_;
+  if (now_) latency_.record(now_() - p.started);
+  if (p.on_get) {
+    p.on_get(status, Buffer(record.data() + k_resp_header, vlen));
+  } else if (p.on_put) {
+    p.on_put(status);
+  }
+}
+
+}  // namespace freeflow::workloads

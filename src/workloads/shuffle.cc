@@ -1,0 +1,59 @@
+#include "workloads/shuffle.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace freeflow::workloads {
+
+void Shuffle::run(std::function<SimTime()> now, std::function<void(SimDuration)> done) {
+  now_ = std::move(now);
+  done_ = std::move(done);
+  started_ = now_();
+  for (int m = 0; m < config_.mappers; ++m) {
+    for (int r = 0; r < config_.reducers; ++r) {
+      connect_(m, r, [this](Result<StreamPtr> stream) {
+        if (!stream.is_ok()) {
+          FF_LOG(warn, "shuffle") << "flow setup failed: " << stream.status();
+          return;
+        }
+        pump_flow(*stream, std::make_shared<std::uint64_t>(0));
+      });
+    }
+  }
+}
+
+void Shuffle::pump_flow(const StreamPtr& stream, std::shared_ptr<std::uint64_t> sent) {
+  // Drive the flow until done; kernel-TCP backpressure (would_block) pauses
+  // the loop and on_writable resumes it.
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [this, stream, sent, pump]() {
+    while (*sent < config_.bytes_per_flow) {
+      const std::uint64_t n =
+          std::min<std::uint64_t>(config_.chunk_bytes, config_.bytes_per_flow - *sent);
+      Buffer chunk(static_cast<std::size_t>(n));
+      fill_pattern(chunk.mutable_view(), *sent);
+      if (!stream->send(std::move(chunk)).is_ok()) return;  // resume on writable
+      *sent += n;
+    }
+  };
+  stream->set_on_writable([pump]() { (*pump)(); });
+  (*pump)();
+}
+
+std::function<void(StreamPtr)> Shuffle::reducer_sink() {
+  return [this](StreamPtr stream) {
+    // The callback retains the stream: accepted sockets are app-owned.
+    stream->set_on_data([this, stream](Buffer&& chunk) { account(chunk.size()); });
+  };
+}
+
+void Shuffle::account(std::uint64_t bytes) {
+  received_ += bytes;
+  if (!finished_ && received_ >= bytes_expected_total()) {
+    finished_ = true;
+    if (done_) done_(now_() - started_);
+  }
+}
+
+}  // namespace freeflow::workloads

@@ -1,0 +1,62 @@
+// MapReduce-style shuffle: every mapper streams a partition to every
+// reducer; completion time is dominated by the slowest flow — exactly the
+// "big data analytics" traffic the paper's introduction motivates.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "workloads/stream_adapter.h"
+
+namespace freeflow::workloads {
+
+/// Abstracts "open a stream from mapper m to reducer r" so the same shuffle
+/// runs over FreeFlow or the overlay baseline.
+using ShuffleConnectFn =
+    std::function<void(int mapper, int reducer, std::function<void(Result<StreamPtr>)>)>;
+
+class Shuffle {
+ public:
+  struct Config {
+    int mappers = 4;
+    int reducers = 4;
+    std::uint64_t bytes_per_flow = 8 * 1024 * 1024;
+    std::size_t chunk_bytes = 256 * 1024;
+    std::uint64_t max_inflight_chunks = 4;  ///< per flow, paced on acks
+  };
+
+  Shuffle(Config config, ShuffleConnectFn connect)
+      : config_(config), connect_(std::move(connect)) {}
+
+  /// Runs the shuffle; `done(elapsed_ns)` fires when every reducer received
+  /// every mapper's partition. `now` supplies virtual time.
+  void run(std::function<SimTime()> now, std::function<void(SimDuration)> done);
+
+  /// Reducer side: wires one accepted stream into the byte counter. Returns
+  /// a callback the acceptor hands each inbound stream to.
+  std::function<void(StreamPtr)> reducer_sink();
+
+  [[nodiscard]] std::uint64_t bytes_expected_total() const noexcept {
+    return static_cast<std::uint64_t>(config_.mappers) *
+           static_cast<std::uint64_t>(config_.reducers) * config_.bytes_per_flow;
+  }
+  [[nodiscard]] std::uint64_t bytes_received_total() const noexcept { return received_; }
+
+ private:
+  void pump_flow(const StreamPtr& stream, std::shared_ptr<std::uint64_t> sent);
+  void account(std::uint64_t bytes);
+
+  Config config_;
+  ShuffleConnectFn connect_;
+  std::function<SimTime()> now_;
+  std::function<void(SimDuration)> done_;
+  SimTime started_ = 0;
+  std::uint64_t received_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace freeflow::workloads

@@ -1,0 +1,2 @@
+// Adapters are header-only; this TU anchors the library target.
+#include "workloads/stream_adapter.h"

@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include "agent/agent.h"
+#include "agent/relay.h"
+#include "sim_env.h"
+
+namespace freeflow::agent {
+namespace {
+
+using freeflow::testing::Env;
+
+TEST(Relay, HeaderRoundTrip) {
+  RelayHeader h;
+  h.src_container = 3;
+  h.dst_container = 9;
+  h.channel = 0xABCDEF12345ULL;
+  h.msg_seq = 77;
+  h.total_len = 1000;
+  h.frag_offset = 256;
+  std::byte buf[RelayHeader::k_size];
+  h.encode(buf);
+  const RelayHeader d = RelayHeader::decode(buf);
+  EXPECT_EQ(d.src_container, 3u);
+  EXPECT_EQ(d.dst_container, 9u);
+  EXPECT_EQ(d.channel, 0xABCDEF12345ULL);
+  EXPECT_EQ(d.msg_seq, 77u);
+  EXPECT_EQ(d.total_len, 1000u);
+  EXPECT_EQ(d.frag_offset, 256u);
+  EXPECT_FALSE(d.last_fragment(100));
+  EXPECT_TRUE(d.last_fragment(744));
+}
+
+TEST(Relay, RecordRoundTrip) {
+  RelayHeader h;
+  h.total_len = 5;
+  Buffer payload = Buffer::from_string("hello");
+  Buffer record = make_record(h, payload.view());
+  auto parsed = parse_record(record.view());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->header.total_len, 5u);
+  EXPECT_EQ(Buffer(parsed->fragment.data(), parsed->fragment.size()).to_string(), "hello");
+}
+
+TEST(Relay, ParseRejectsGarbage) {
+  Buffer tiny(4);
+  EXPECT_FALSE(parse_record(tiny.view()).is_ok());
+  RelayHeader h;
+  h.total_len = 1;  // fragment longer than message
+  Buffer bad = make_record(h, Buffer(10).view());
+  EXPECT_FALSE(parse_record(bad.view()).is_ok());
+}
+
+// ----------------------------------------------------- channel integration
+
+struct AgentFixture : ::testing::Test {
+  /// Opens a duplex channel between two deployed containers and returns
+  /// both endpoints.
+  static std::pair<ChannelPtr, ChannelPtr> open_channel(
+      Env& env, AgentFabric& agents, orch::ContainerPtr a, orch::ContainerPtr b,
+      orch::Transport transport) {
+    ChannelPtr ep_a, ep_b;
+    agents.agent_on(b->host()).register_container(
+        b->id(), [&](orch::ContainerId, ChannelPtr ch) { ep_b = std::move(ch); });
+    agents.agent_on(a->host()).register_container(a->id(),
+                                                  [](orch::ContainerId, ChannelPtr) {});
+    agents.agent_on(a->host()).establish(a->id(), b->id(), transport,
+                                         [&](Result<ChannelPtr> ch) {
+      ASSERT_TRUE(ch.is_ok()) << ch.status();
+      ep_a = std::move(ch.value());
+    });
+    EXPECT_TRUE(env.wait([&]() { return ep_a != nullptr && ep_b != nullptr; }));
+    return {ep_a, ep_b};
+  }
+};
+
+TEST_F(AgentFixture, ShmChannelDelivers) {
+  Env env(1);
+  AgentFabric agents(*env.net_orch);
+  auto a = env.deploy("a", 1, 0);
+  auto b = env.deploy("b", 1, 0);
+  auto [ep_a, ep_b] = open_channel(env, agents, a, b, orch::Transport::shm);
+  ASSERT_NE(ep_a, nullptr);
+
+  Buffer got;
+  ep_b->set_on_message([&](Buffer&& m) { got = std::move(m); });
+  Buffer msg(4096);
+  fill_pattern(msg.mutable_view(), 17);
+  ASSERT_TRUE(ep_a->send(std::move(msg)).is_ok());
+  EXPECT_TRUE(env.wait([&]() { return got.size() == 4096; }));
+  EXPECT_TRUE(check_pattern(got.view(), 17));
+  EXPECT_EQ(ep_a->transport(), orch::Transport::shm);
+}
+
+TEST_F(AgentFixture, ShmChannelIsDuplex) {
+  Env env(1);
+  AgentFabric agents(*env.net_orch);
+  auto a = env.deploy("a", 1, 0);
+  auto b = env.deploy("b", 1, 0);
+  auto [ep_a, ep_b] = open_channel(env, agents, a, b, orch::Transport::shm);
+  Buffer at_a, at_b;
+  ep_a->set_on_message([&](Buffer&& m) { at_a = std::move(m); });
+  ep_b->set_on_message([&](Buffer&& m) { at_b = std::move(m); });
+  ASSERT_TRUE(ep_a->send(Buffer::from_string("ping")).is_ok());
+  ASSERT_TRUE(ep_b->send(Buffer::from_string("pong")).is_ok());
+  EXPECT_TRUE(env.wait([&]() { return !at_a.empty() && !at_b.empty(); }));
+  EXPECT_EQ(at_b.to_string(), "ping");
+  EXPECT_EQ(at_a.to_string(), "pong");
+}
+
+TEST_F(AgentFixture, TrustEnforcedAtAgent) {
+  Env env(1);
+  AgentFabric agents(*env.net_orch);
+  auto a = env.deploy("a", 1, 0);
+  auto b = env.deploy("b", 2, 0);  // different tenant, no trust
+  agents.agent_on(0).register_container(a->id(), [](orch::ContainerId, ChannelPtr) {});
+  agents.agent_on(0).register_container(b->id(), [](orch::ContainerId, ChannelPtr) {});
+  Status result;
+  bool done = false;
+  agents.agent_on(0).establish(a->id(), b->id(), orch::Transport::shm,
+                               [&](Result<ChannelPtr> ch) {
+    result = ch.status();
+    done = true;
+  });
+  EXPECT_TRUE(env.wait([&]() { return done; }));
+  EXPECT_EQ(result.code(), Errc::permission_denied);
+}
+
+TEST_F(AgentFixture, ShmRequiresColocation) {
+  Env env(2);
+  AgentFabric agents(*env.net_orch);
+  auto a = env.deploy("a", 1, 0);
+  auto b = env.deploy("b", 1, 1);
+  agents.agent_on(0).register_container(a->id(), [](orch::ContainerId, ChannelPtr) {});
+  agents.agent_on(1).register_container(b->id(), [](orch::ContainerId, ChannelPtr) {});
+  Status result;
+  bool done = false;
+  agents.agent_on(0).establish(a->id(), b->id(), orch::Transport::shm,
+                               [&](Result<ChannelPtr> ch) {
+    result = ch.status();
+    done = true;
+  });
+  EXPECT_TRUE(env.wait([&]() { return done; }));
+  EXPECT_EQ(result.code(), Errc::failed_precondition);
+}
+
+class TrunkTransportTest : public AgentFixture,
+                           public ::testing::WithParamInterface<orch::Transport> {};
+
+TEST_P(TrunkTransportTest, RemoteChannelDeliversWithIntegrity) {
+  Env env(2);
+  AgentFabric agents(*env.net_orch);
+  auto a = env.deploy("a", 1, 0);
+  auto b = env.deploy("b", 1, 1);
+  auto [ep_a, ep_b] = open_channel(env, agents, a, b, GetParam());
+  ASSERT_NE(ep_a, nullptr);
+  EXPECT_EQ(ep_a->transport(), GetParam());
+
+  // Multiple messages, one larger than the fragment size, both directions.
+  std::vector<Buffer> at_b;
+  Buffer at_a;
+  ep_b->set_on_message([&](Buffer&& m) { at_b.push_back(std::move(m)); });
+  ep_a->set_on_message([&](Buffer&& m) { at_a = std::move(m); });
+
+  Buffer small(1000), big(1500 * 1000);
+  fill_pattern(small.mutable_view(), 1);
+  fill_pattern(big.mutable_view(), 2);
+  ASSERT_TRUE(ep_a->send(std::move(small)).is_ok());
+  ASSERT_TRUE(ep_a->send(std::move(big)).is_ok());
+  Buffer reply(5000);
+  fill_pattern(reply.mutable_view(), 3);
+  ASSERT_TRUE(ep_b->send(std::move(reply)).is_ok());
+
+  EXPECT_TRUE(env.wait([&]() { return at_b.size() == 2 && at_a.size() == 5000; },
+                       30 * k_second));
+  ASSERT_EQ(at_b.size(), 2u);
+  EXPECT_EQ(at_b[0].size(), 1000u);
+  EXPECT_TRUE(check_pattern(at_b[0].view(), 1));
+  EXPECT_EQ(at_b[1].size(), 1500u * 1000);
+  EXPECT_TRUE(check_pattern(at_b[1].view(), 2));
+  EXPECT_TRUE(check_pattern(at_a.view(), 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrunks, TrunkTransportTest,
+                         ::testing::Values(orch::Transport::rdma,
+                                           orch::Transport::dpdk,
+                                           orch::Transport::tcp_host),
+                         [](const ::testing::TestParamInfo<orch::Transport>& pinfo) {
+                           return std::string(orch::transport_name(pinfo.param)) == "tcp-host"
+                                      ? "tcp_host"
+                                      : std::string(orch::transport_name(pinfo.param));
+                         });
+
+TEST_F(AgentFixture, RdmaTrunkRefusedWithoutCapableNic) {
+  fabric::NicCapabilities caps;
+  caps.rdma = false;
+  Env env(2, sim::CostModel{}, caps);
+  AgentFabric agents(*env.net_orch);
+  auto a = env.deploy("a", 1, 0);
+  auto b = env.deploy("b", 1, 1);
+  agents.agent_on(0).register_container(a->id(), [](orch::ContainerId, ChannelPtr) {});
+  agents.agent_on(1).register_container(b->id(), [](orch::ContainerId, ChannelPtr) {});
+  Status result;
+  bool done = false;
+  agents.agent_on(0).establish(a->id(), b->id(), orch::Transport::rdma,
+                               [&](Result<ChannelPtr> ch) {
+    result = ch.status();
+    done = true;
+  });
+  EXPECT_TRUE(env.wait([&]() { return done; }));
+  EXPECT_EQ(result.code(), Errc::failed_precondition);
+}
+
+TEST_F(AgentFixture, ManyChannelsShareOneTrunk) {
+  Env env(2);
+  AgentFabric agents(*env.net_orch);
+  auto a1 = env.deploy("a1", 1, 0);
+  auto a2 = env.deploy("a2", 1, 0);
+  auto b1 = env.deploy("b1", 1, 1);
+  auto b2 = env.deploy("b2", 1, 1);
+
+  auto [c1a, c1b] = open_channel(env, agents, a1, b1, orch::Transport::rdma);
+  auto [c2a, c2b] = open_channel(env, agents, a2, b2, orch::Transport::rdma);
+  ASSERT_NE(c1a, nullptr);
+  ASSERT_NE(c2a, nullptr);
+
+  Buffer got1, got2;
+  c1b->set_on_message([&](Buffer&& m) { got1 = std::move(m); });
+  c2b->set_on_message([&](Buffer&& m) { got2 = std::move(m); });
+  Buffer m1(2222), m2(3333);
+  fill_pattern(m1.mutable_view(), 5);
+  fill_pattern(m2.mutable_view(), 6);
+  ASSERT_TRUE(c1a->send(std::move(m1)).is_ok());
+  ASSERT_TRUE(c2a->send(std::move(m2)).is_ok());
+  EXPECT_TRUE(env.wait([&]() { return got1.size() == 2222 && got2.size() == 3333; }));
+  EXPECT_TRUE(check_pattern(got1.view(), 5));
+  EXPECT_TRUE(check_pattern(got2.view(), 6));
+  EXPECT_GE(agents.agent_on(0).records_relayed(), 2u);
+}
+
+class FragmentBoundary : public AgentFixture,
+                         public ::testing::WithParamInterface<std::size_t> {};
+
+TEST_P(FragmentBoundary, MessageSizesAroundFragmentEdgeSurvive) {
+  // Exactly at, one below and one above the relay fragment size, plus
+  // multi-fragment sizes — all must reassemble byte-exact.
+  Env env(2);
+  AgentFabric agents(*env.net_orch);
+  auto a = env.deploy("a", 1, 0);
+  auto b = env.deploy("b", 1, 1);
+  auto [ep_a, ep_b] = open_channel(env, agents, a, b, orch::Transport::rdma);
+  ASSERT_NE(ep_a, nullptr);
+
+  const std::size_t size = GetParam();
+  Buffer got;
+  ep_b->set_on_message([&](Buffer&& m) { got = std::move(m); });
+  Buffer msg(size);
+  fill_pattern(msg.mutable_view(), size);
+  ASSERT_TRUE(ep_a->send(std::move(msg)).is_ok());
+  EXPECT_TRUE(env.wait([&]() { return got.size() == size; }, 30 * k_second));
+  EXPECT_TRUE(check_pattern(got.view(), size));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FragmentBoundary,
+                         ::testing::Values(std::size_t{0}, std::size_t{1},
+                                           std::size_t{256} * 1024 - 1,
+                                           std::size_t{256} * 1024,
+                                           std::size_t{256} * 1024 + 1,
+                                           std::size_t{3} * 256 * 1024 + 7));
+
+class TrunkCongestion : public AgentFixture,
+                        public ::testing::WithParamInterface<orch::Transport> {};
+
+TEST_P(TrunkCongestion, CongestionGatesWritableThenRecovers) {
+  Env env(2);
+  AgentFabric agents(*env.net_orch);
+  auto a = env.deploy("a", 1, 0);
+  auto b = env.deploy("b", 1, 1);
+  auto [ep_a, ep_b] = open_channel(env, agents, a, b, GetParam());
+  ASSERT_NE(ep_a, nullptr);
+  ep_b->set_on_message([](Buffer&&) {});
+
+  EXPECT_TRUE(ep_a->writable());
+  // Flood without letting the loop run: the trunk queue must eventually
+  // report congestion through writable().
+  int sent = 0;
+  while (ep_a->writable() && sent < 8192) {
+    ASSERT_TRUE(ep_a->send(Buffer(256 * 1024)).is_ok());
+    ++sent;
+  }
+  EXPECT_LT(sent, 8192) << "writable() never went false under flood";
+
+  // Draining restores writability (the on_drained notification path).
+  EXPECT_TRUE(env.wait([&]() { return ep_a->writable(); }, 120 * k_second));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrunkKinds, TrunkCongestion,
+                         ::testing::Values(orch::Transport::rdma,
+                                           orch::Transport::dpdk,
+                                           orch::Transport::tcp_host),
+                         [](const ::testing::TestParamInfo<orch::Transport>& pinfo) {
+                           return std::string(orch::transport_name(pinfo.param)) ==
+                                          "tcp-host"
+                                      ? "tcp_host"
+                                      : std::string(orch::transport_name(pinfo.param));
+                         });
+
+TEST_F(AgentFixture, ConcurrentBidirectionalChannelsBetweenSameHosts) {
+  // a->b and b->a channels opened from both sides share one trunk pair.
+  Env env(2);
+  AgentFabric agents(*env.net_orch);
+  auto a = env.deploy("a", 1, 0);
+  auto b = env.deploy("b", 1, 1);
+  auto [ab_a, ab_b] = open_channel(env, agents, a, b, orch::Transport::rdma);
+
+  ChannelPtr ba_b, ba_a;
+  agents.agent_on(0).register_container(
+      a->id(), [&](orch::ContainerId, ChannelPtr ch) { ba_a = std::move(ch); });
+  agents.agent_on(1).establish(b->id(), a->id(), orch::Transport::rdma,
+                               [&](Result<ChannelPtr> ch) {
+    ASSERT_TRUE(ch.is_ok()) << ch.status();
+    ba_b = std::move(ch.value());
+  });
+  EXPECT_TRUE(env.wait([&]() { return ba_b != nullptr && ba_a != nullptr; }));
+
+  Buffer at_b, at_a;
+  ab_b->set_on_message([&](Buffer&& m) { at_b = std::move(m); });
+  ba_a->set_on_message([&](Buffer&& m) { at_a = std::move(m); });
+  ASSERT_TRUE(ab_a->send(Buffer::from_string("forward")).is_ok());
+  ASSERT_TRUE(ba_b->send(Buffer::from_string("backward")).is_ok());
+  EXPECT_TRUE(env.wait([&]() { return !at_b.empty() && !at_a.empty(); }));
+  EXPECT_EQ(at_b.to_string(), "forward");
+  EXPECT_EQ(at_a.to_string(), "backward");
+}
+
+TEST_F(AgentFixture, EstablishToUnregisteredContainerFails) {
+  Env env(1);
+  AgentFabric agents(*env.net_orch);
+  auto a = env.deploy("a", 1, 0);
+  auto b = env.deploy("b", 1, 0);
+  agents.agent_on(0).register_container(a->id(), [](orch::ContainerId, ChannelPtr) {});
+  // b never registered with the agent.
+  Status result;
+  bool done = false;
+  agents.agent_on(0).establish(a->id(), b->id(), orch::Transport::shm,
+                               [&](Result<ChannelPtr> ch) {
+    result = ch.status();
+    done = true;
+  });
+  EXPECT_TRUE(env.wait([&]() { return done; }));
+  EXPECT_EQ(result.code(), Errc::unavailable);
+}
+
+TEST_F(AgentFixture, UnknownContainerRejected) {
+  Env env(1);
+  AgentFabric agents(*env.net_orch);
+  auto a = env.deploy("a", 1, 0);
+  Status result;
+  bool done = false;
+  agents.agent_on(0).establish(a->id(), 9999, orch::Transport::shm,
+                               [&](Result<ChannelPtr> ch) {
+    result = ch.status();
+    done = true;
+  });
+  EXPECT_TRUE(env.wait([&]() { return done; }));
+  EXPECT_EQ(result.code(), Errc::not_found);
+}
+
+TEST_F(AgentFixture, ClosedEndpointDropsTraffic) {
+  Env env(1);
+  AgentFabric agents(*env.net_orch);
+  auto a = env.deploy("a", 1, 0);
+  auto b = env.deploy("b", 1, 0);
+  auto [ep_a, ep_b] = open_channel(env, agents, a, b, orch::Transport::shm);
+  int delivered = 0;
+  ep_b->set_on_message([&](Buffer&&) { ++delivered; });
+  ep_b->close();
+  ASSERT_TRUE(ep_a->send(Buffer(100)).is_ok());
+  env.loop().run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(ep_a->send(Buffer(1)).is_ok(), true);  // sender side still open
+  ep_a->close();
+  EXPECT_EQ(ep_a->send(Buffer(1)).code(), Errc::failed_precondition);
+}
+
+}  // namespace
+}  // namespace freeflow::agent

@@ -1,0 +1,221 @@
+// End-to-end calibration guards: the throughput/latency/CPU relationships
+// the paper reports must emerge from the simulation. These invariants are
+// what the benchmark harness (bench/) prints; if they drift, the repro of
+// the paper's figures is broken.
+#include <gtest/gtest.h>
+
+#include "rdma/device.h"
+#include "sim_env.h"
+#include "tcpstack/modes.h"
+#include "workloads/drivers.h"
+
+namespace freeflow {
+namespace {
+
+using freeflow::testing::Env;
+using namespace freeflow::workloads;
+
+constexpr SimDuration k_window = 50 * k_millisecond;
+constexpr std::size_t k_msg = 1 << 20;
+
+struct TcpModeRig {
+  TcpModeRig(fabric::Cluster& cluster, tcp::PathBuilder& builder)
+      : net(cluster.loop(), cluster.cost_model(), builder) {}
+  tcp::TcpNetwork net;
+};
+
+double tcp_mode_gbps(fabric::Cluster& cluster, tcp::PathBuilder& builder,
+                     tcp::Endpoint a, tcp::Endpoint b, double* cpu = nullptr) {
+  TcpModeRig rig(cluster, builder);
+  auto report = drive_tcp_stream(cluster, rig.net, {{a, b}}, k_msg, k_window);
+  if (cpu != nullptr) *cpu = report.host_cpu_cores;
+  return report.goodput_gbps;
+}
+
+struct IntraHostTcp : ::testing::Test {
+  IntraHostTcp() {
+    cluster.add_hosts(1);
+    tcp::WireHop::install_rx(cluster.host(0));
+  }
+  fabric::Cluster cluster;
+  tcp::Endpoint ep_a{tcp::Ipv4Addr(172, 17, 0, 2), 0};
+  tcp::Endpoint ep_b{tcp::Ipv4Addr(172, 17, 0, 3), 9000};
+};
+
+TEST_F(IntraHostTcp, BridgeModeLandsNear27Gbps) {
+  tcp::BridgeModeBuilder bridge(cluster.cost_model());
+  ASSERT_TRUE(bridge.addresses().add(ep_a.ip, cluster.host(0), nullptr).is_ok());
+  ASSERT_TRUE(bridge.addresses().add(ep_b.ip, cluster.host(0), nullptr).is_ok());
+  double cpu = 0;
+  const double gbps = tcp_mode_gbps(cluster, bridge, ep_a, ep_b, &cpu);
+  EXPECT_GT(gbps, 23.0);
+  EXPECT_LT(gbps, 30.0);
+  // "near to 200% of cpu" (§2.3.1).
+  EXPECT_GT(cpu, 1.6);
+  EXPECT_LT(cpu, 2.4);
+}
+
+TEST_F(IntraHostTcp, HostModeLandsNear38Gbps) {
+  tcp::HostModeBuilder host(cluster.cost_model());
+  ASSERT_TRUE(host.addresses().add(ep_a.ip, cluster.host(0), nullptr).is_ok());
+  ASSERT_TRUE(host.addresses().add(ep_b.ip, cluster.host(0), nullptr).is_ok());
+  const double gbps = tcp_mode_gbps(cluster, host, ep_a, ep_b);
+  EXPECT_GT(gbps, 33.0);
+  EXPECT_LT(gbps, 41.0);
+}
+
+TEST(Calibration, OverlaySlowerThanBridgeSlowerThanHost) {
+  Env env(1);
+  auto a = env.overlay_net.add_container(0, nullptr);
+  auto b = env.overlay_net.add_container(0, nullptr);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  env.loop().run();
+
+  const double overlay =
+      tcp_mode_gbps(env.cluster, env.overlay_net.path_builder(), {*a, 0}, {*b, 9100});
+
+  tcp::BridgeModeBuilder bridge(env.cluster.cost_model());
+  ASSERT_TRUE(bridge.addresses().add(tcp::Ipv4Addr(172, 17, 0, 2), env.cluster.host(0), nullptr).is_ok());
+  ASSERT_TRUE(bridge.addresses().add(tcp::Ipv4Addr(172, 17, 0, 3), env.cluster.host(0), nullptr).is_ok());
+  const double bridged = tcp_mode_gbps(env.cluster, bridge,
+                                       {tcp::Ipv4Addr(172, 17, 0, 2), 0},
+                                       {tcp::Ipv4Addr(172, 17, 0, 3), 9200});
+
+  tcp::HostModeBuilder host(env.cluster.cost_model());
+  ASSERT_TRUE(host.addresses().add(tcp::Ipv4Addr(192, 168, 1, 2), env.cluster.host(0), nullptr).is_ok());
+  ASSERT_TRUE(host.addresses().add(tcp::Ipv4Addr(192, 168, 1, 3), env.cluster.host(0), nullptr).is_ok());
+  const double hostmode = tcp_mode_gbps(env.cluster, host,
+                                        {tcp::Ipv4Addr(192, 168, 1, 2), 0},
+                                        {tcp::Ipv4Addr(192, 168, 1, 3), 9300});
+
+  EXPECT_LT(overlay, bridged);
+  EXPECT_LT(bridged, hostmode);
+}
+
+TEST(Calibration, RdmaHitsLineRateWithLowHostCpu) {
+  fabric::Cluster cluster;
+  cluster.add_hosts(2);
+  rdma::RdmaDevice da(cluster.host(0));
+  rdma::RdmaDevice db(cluster.host(1));
+  auto report = drive_rdma_stream(cluster, da, db, 1, k_msg, k_window);
+  EXPECT_GT(report.goodput_gbps, 36.0);
+  EXPECT_LE(report.goodput_gbps, 40.5);
+  EXPECT_LT(report.host_cpu_cores, 0.3);   // kernel bypass
+  EXPECT_GT(report.nic_proc_util, 0.7);    // the NIC does the work
+}
+
+TEST(Calibration, ShmNearMemoryBandwidthAboveEverything) {
+  fabric::Cluster cluster;
+  cluster.add_hosts(1);
+  auto report = drive_shm_stream(cluster, 0, 1, k_msg, k_window);
+  EXPECT_GT(report.goodput_gbps, 90.0);  // >> 40 Gb/s NIC
+  EXPECT_GT(report.membus_util, 0.3);
+}
+
+TEST(Calibration, PairScalingShapes) {
+  // Fig 2(a-c) shapes: TCP saturates host CPU (~4 cores), RDMA pins at the
+  // NIC, shm plateaus at the memory bus far above both.
+  fabric::Cluster tcp_cluster;
+  tcp_cluster.add_hosts(1);
+  tcp::WireHop::install_rx(tcp_cluster.host(0));
+  tcp::BridgeModeBuilder bridge(tcp_cluster.cost_model());
+  std::vector<std::pair<tcp::Endpoint, tcp::Endpoint>> eps;
+  for (int p = 0; p < 4; ++p) {
+    tcp::Ipv4Addr src(172, 17, 0, static_cast<std::uint8_t>(10 + 2 * p));
+    tcp::Ipv4Addr dst(172, 17, 0, static_cast<std::uint8_t>(11 + 2 * p));
+    ASSERT_TRUE(bridge.addresses().add(src, tcp_cluster.host(0), nullptr).is_ok());
+    ASSERT_TRUE(bridge.addresses().add(dst, tcp_cluster.host(0), nullptr).is_ok());
+    eps.push_back({{src, 0}, {dst, 9000}});
+  }
+  tcp::TcpNetwork net(tcp_cluster.loop(), tcp_cluster.cost_model(), bridge);
+  auto tcp4 = drive_tcp_stream(tcp_cluster, net, eps, k_msg, k_window);
+  // 4 pairs on 4 cores: aggregate well below 4x the single-pair 27 Gb/s.
+  EXPECT_LT(tcp4.goodput_gbps, 60.0);
+  EXPECT_GT(tcp4.host_cpu_cores, 3.5);  // CPU saturated
+
+  fabric::Cluster rdma_cluster;
+  rdma_cluster.add_hosts(2);
+  rdma::RdmaDevice da(rdma_cluster.host(0));
+  rdma::RdmaDevice db(rdma_cluster.host(1));
+  auto rdma4 = drive_rdma_stream(rdma_cluster, da, db, 4, k_msg, k_window);
+  EXPECT_LE(rdma4.goodput_gbps, 40.5);  // still the line rate
+  EXPECT_GT(rdma4.nic_proc_util, 0.85);
+
+  fabric::Cluster shm_cluster;
+  shm_cluster.add_hosts(1);
+  auto shm4 = drive_shm_stream(shm_cluster, 0, 4, k_msg, k_window);
+  EXPECT_GT(shm4.goodput_gbps, tcp4.goodput_gbps * 2);
+  EXPECT_GT(shm4.goodput_gbps, 150.0);
+  // Memory bus becomes the binding resource.
+  EXPECT_GT(shm4.membus_util, 0.9);
+}
+
+TEST(Calibration, LatencyOrderingSmallMessages) {
+  // shm < rdma < tcp-host for 64 B round trips.
+  fabric::Cluster cluster;
+  cluster.add_hosts(2);
+  tcp::WireHop::install_rx(cluster.host(0));
+  tcp::WireHop::install_rx(cluster.host(1));
+
+  const SimDuration shm = shm_rtt(cluster, 0, 64, 21);
+
+  rdma::RdmaDevice da(cluster.host(0));
+  rdma::RdmaDevice db(cluster.host(1));
+  const SimDuration rdma_lat = rdma_rtt(cluster, da, db, 64, 21);
+
+  tcp::HostModeBuilder host(cluster.cost_model());
+  ASSERT_TRUE(host.addresses().add(tcp::Ipv4Addr(192, 168, 1, 2), cluster.host(0), nullptr).is_ok());
+  ASSERT_TRUE(host.addresses().add(tcp::Ipv4Addr(192, 168, 1, 3), cluster.host(1), nullptr).is_ok());
+  tcp::TcpNetwork net(cluster.loop(), cluster.cost_model(), host);
+  const SimDuration tcp_lat = tcp_rtt(cluster, net, {tcp::Ipv4Addr(192, 168, 1, 2), 0},
+                                      {tcp::Ipv4Addr(192, 168, 1, 3), 9500}, 64, 21);
+
+  EXPECT_LT(shm, rdma_lat);
+  EXPECT_LT(rdma_lat, tcp_lat);
+  EXPECT_LT(shm, 3 * k_microsecond);
+  EXPECT_LT(rdma_lat, 15 * k_microsecond);
+  EXPECT_GT(tcp_lat, 15 * k_microsecond);
+}
+
+TEST(Calibration, LargeMessageTcpLatencyNearMillisecond) {
+  // §2.3.1: "1 ms latency" for TCP through the bridge — that is a 1 MiB
+  // message's completion time, orders above shm.
+  fabric::Cluster cluster;
+  cluster.add_hosts(1);
+  tcp::BridgeModeBuilder bridge(cluster.cost_model());
+  ASSERT_TRUE(bridge.addresses().add(tcp::Ipv4Addr(172, 17, 0, 2), cluster.host(0), nullptr).is_ok());
+  ASSERT_TRUE(bridge.addresses().add(tcp::Ipv4Addr(172, 17, 0, 3), cluster.host(0), nullptr).is_ok());
+  tcp::TcpNetwork net(cluster.loop(), cluster.cost_model(), bridge);
+  const SimDuration tcp_1m = tcp_rtt(cluster, net, {tcp::Ipv4Addr(172, 17, 0, 2), 0},
+                                     {tcp::Ipv4Addr(172, 17, 0, 3), 9600}, 1 << 20, 7);
+  const SimDuration shm_1m = shm_rtt(cluster, 0, 1 << 20, 7);
+  EXPECT_GT(tcp_1m, 400 * k_microsecond);
+  EXPECT_LT(tcp_1m, 3 * k_millisecond);
+  EXPECT_LT(shm_1m, tcp_1m / 3);
+}
+
+TEST(Calibration, FreeFlowMatchesBestRawTransport) {
+  // Intra-host FreeFlow ~ shm class; inter-host FreeFlow ~ RDMA class.
+  Env env_intra(1);
+  auto a1 = env_intra.deploy("a", 1, 0);
+  auto b1 = env_intra.deploy("b", 1, 0);
+  auto na1 = env_intra.freeflow().attach(a1->id()).value();
+  auto nb1 = env_intra.freeflow().attach(b1->id()).value();
+  auto intra = drive_freeflow_stream(env_intra.cluster, na1, nb1, b1->ip(), 9000,
+                                     k_msg, k_window);
+  EXPECT_GT(intra.goodput_gbps, 60.0);  // far above any TCP mode
+
+  Env env_inter(2);
+  auto a2 = env_inter.deploy("a", 1, 0);
+  auto b2 = env_inter.deploy("b", 1, 1);
+  auto na2 = env_inter.freeflow().attach(a2->id()).value();
+  auto nb2 = env_inter.freeflow().attach(b2->id()).value();
+  auto inter = drive_freeflow_stream(env_inter.cluster, na2, nb2, b2->ip(), 9000,
+                                     k_msg, k_window);
+  EXPECT_GT(inter.goodput_gbps, 30.0);  // RDMA-class
+  EXPECT_LE(inter.goodput_gbps, 40.5);
+  EXPECT_LT(inter.host_cpu_cores, 2.0);  // ~0.7 cores/host vs ~2 for kernel TCP at 27 Gb/s
+}
+
+}  // namespace
+}  // namespace freeflow

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace freeflow {
+namespace {
+
+// ----------------------------------------------------------------- Status
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), Errc::ok);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = permission_denied("nope");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), Errc::permission_denied);
+  EXPECT_EQ(s.to_string(), "permission_denied: nope");
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(not_found("a"), not_found("b"));
+  EXPECT_FALSE(not_found("a") == timed_out("a"));
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(Errc::internal); ++c) {
+    EXPECT_NE(errc_name(static_cast<Errc>(c)), "unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = not_found("missing");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Errc::not_found);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.is_ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+// ----------------------------------------------------------------- Buffer
+
+TEST(Buffer, RoundTripsStrings) {
+  Buffer b = Buffer::from_string("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(b.to_string(), "hello");
+}
+
+TEST(Buffer, AppendGrows) {
+  Buffer b;
+  b.append(Buffer::from_string("ab").view());
+  b.append(Buffer::from_string("cd").view());
+  EXPECT_EQ(b.to_string(), "abcd");
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (IEEE).
+  const Buffer b = Buffer::from_string("123456789");
+  EXPECT_EQ(crc32(b.view()), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32(ByteSpan{}), 0u); }
+
+TEST(Crc32, SensitiveToEveryByte) {
+  Buffer b(64);
+  fill_pattern(b.mutable_view(), 1);
+  const std::uint32_t base = crc32(b.view());
+  for (std::size_t i = 0; i < b.size(); i += 7) {
+    Buffer c = b;
+    c.data()[i] ^= std::byte{1};
+    EXPECT_NE(crc32(c.view()), base) << "flip at " << i;
+  }
+}
+
+TEST(Pattern, DeterministicAndSeedSensitive) {
+  Buffer a(256), b(256), c(256);
+  fill_pattern(a.mutable_view(), 1);
+  fill_pattern(b.mutable_view(), 1);
+  fill_pattern(c.mutable_view(), 2);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(check_pattern(a.view(), 1));
+  EXPECT_FALSE(check_pattern(a.view(), 2));
+}
+
+// -------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng rng(6);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  // Bucketed quantile is within the bucket's relative error (~3 %).
+  EXPECT_NEAR(static_cast<double>(h.p50()), 1234.0, 1234.0 * 0.05);
+}
+
+TEST(Histogram, QuantilesOfUniformRamp) {
+  Histogram h;
+  for (int v = 1; v <= 10000; ++v) h.record(v);
+  EXPECT_NEAR(static_cast<double>(h.p50()), 5000.0, 5000.0 * 0.06);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 9900.0, 9900.0 * 0.06);
+  EXPECT_EQ(h.max(), 10000);
+  EXPECT_NEAR(h.mean(), 5000.5, 1.0);
+}
+
+TEST(Histogram, MergeMatchesCombined) {
+  Histogram a, b, combined;
+  for (int v = 0; v < 5000; ++v) {
+    a.record(v);
+    combined.record(v);
+  }
+  for (int v = 5000; v < 10000; ++v) {
+    b.record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.p50(), combined.p50());
+  EXPECT_EQ(a.max(), combined.max());
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(10);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), -5);  // min/max track raw values
+}
+
+class HistogramQuantileSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(HistogramQuantileSweep, RelativeErrorBounded) {
+  // Property: for a point mass at V, every quantile is within ~3 % of V.
+  const std::int64_t v = GetParam();
+  Histogram h;
+  h.record_n(v, 1000);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_NEAR(static_cast<double>(h.quantile(q)), static_cast<double>(v),
+                static_cast<double>(v) * 0.05 + 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, HistogramQuantileSweep,
+                         ::testing::Values(1, 17, 1000, 123456, 99999999,
+                                           123456789012LL));
+
+TEST(FormatNs, HumanReadableAcrossScales) {
+  EXPECT_EQ(format_ns(830), "830ns");
+  EXPECT_EQ(format_ns(12'500), "12.50us");
+  EXPECT_EQ(format_ns(1'250'000), "1.25ms");
+  EXPECT_EQ(format_ns(2'000'000'000), "2.00s");
+}
+
+// ------------------------------------------------------------------ units
+
+TEST(Units, TransmissionTime) {
+  // 1500 bytes at 1 Gb/s = 12 us.
+  EXPECT_EQ(transmission_time(1500, 1e9), 12000);
+  EXPECT_EQ(transmission_time(0, 1e9), 0);
+}
+
+TEST(Units, ThroughputGbps) {
+  // 1 GB in 1 second = 8 Gb/s.
+  EXPECT_NEAR(throughput_gbps(1'000'000'000, k_second), 8.0, 1e-9);
+  EXPECT_EQ(throughput_gbps(100, 0), 0.0);
+}
+
+TEST(Units, Literals) {
+  EXPECT_EQ(64_KiB, 65536u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_EQ(2_GiB, 2147483648u);
+}
+
+}  // namespace
+}  // namespace freeflow

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <thread>
+
+#include "common/rng.h"
+#include "fabric/cluster.h"
+#include "shm/channel.h"
+#include "shm/region.h"
+#include "shm/spsc_ring.h"
+
+namespace freeflow::shm {
+namespace {
+
+// --------------------------------------------------------------- SpscRing
+
+TEST(SpscRing, PushPopRoundTrip) {
+  SpscRing ring(1024);
+  EXPECT_TRUE(ring.try_push(Buffer::from_string("hello").view()));
+  Buffer out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out.to_string(), "hello");
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, PopOnEmptyFails) {
+  SpscRing ring(256);
+  Buffer out;
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, ZeroLengthMessages) {
+  SpscRing ring(256);
+  EXPECT_TRUE(ring.try_push(ByteSpan{}));
+  Buffer out = Buffer::from_string("junk");
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SpscRing, RejectsWhenFull) {
+  SpscRing ring(64);
+  Buffer big(60);
+  EXPECT_TRUE(ring.try_push(big.view()));
+  EXPECT_FALSE(ring.try_push(big.view()));
+  Buffer out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_TRUE(ring.try_push(big.view()));  // space reclaimed
+}
+
+TEST(SpscRing, CapacityRoundsToPowerOfTwo) {
+  SpscRing ring(1000);
+  EXPECT_EQ(ring.capacity(), 1024u);
+}
+
+TEST(SpscRing, WrapAroundPreservesContent) {
+  SpscRing ring(128);
+  // Drive the cursors past the wrap point many times.
+  for (int i = 0; i < 500; ++i) {
+    Buffer msg(static_cast<std::size_t>(i % 40 + 1));
+    fill_pattern(msg.mutable_view(), static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(ring.try_push(msg.view()));
+    Buffer out;
+    ASSERT_TRUE(ring.try_pop(out));
+    ASSERT_EQ(out.size(), msg.size());
+    ASSERT_TRUE(check_pattern(out.view(), static_cast<std::uint64_t>(i)));
+  }
+}
+
+TEST(SpscRing, PropertyRandomOpsMatchModelQueue) {
+  // Property: against a reference deque, random interleaved push/pop never
+  // loses, duplicates or reorders messages.
+  Rng rng(42);
+  SpscRing ring(1 << 12);
+  std::deque<Buffer> model;
+  std::uint64_t next_seed = 0;
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.chance(0.55)) {
+      Buffer msg(rng.next_below(200));
+      fill_pattern(msg.mutable_view(), next_seed);
+      const bool pushed = ring.try_push(msg.view());
+      const bool expected = ring.record_size(msg.size()) <= (1u << 12) || !pushed;
+      (void)expected;
+      if (pushed) {
+        model.push_back(std::move(msg));
+        ++next_seed;
+      } else {
+        ASSERT_FALSE(model.empty());  // only full rings reject
+      }
+    } else {
+      Buffer out;
+      const bool popped = ring.try_pop(out);
+      ASSERT_EQ(popped, !model.empty());
+      if (popped) {
+        ASSERT_EQ(out, model.front());
+        model.pop_front();
+      }
+    }
+  }
+  EXPECT_EQ(ring.pushed() - ring.popped(), model.size());
+}
+
+TEST(SpscRing, TwoThreadStress) {
+  // The ring is a real lock-free structure: hammer it from two OS threads
+  // and verify the integrity of every message.
+  SpscRing ring(1 << 14);
+  constexpr int k_messages = 50000;
+  std::atomic<bool> failed{false};
+
+  std::thread producer([&]() {
+    for (int i = 0; i < k_messages; ++i) {
+      Buffer msg(static_cast<std::size_t>(i % 257));
+      fill_pattern(msg.mutable_view(), static_cast<std::uint64_t>(i));
+      while (!ring.try_push(msg.view())) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::thread consumer([&]() {
+    Buffer out;
+    for (int i = 0; i < k_messages; ++i) {
+      while (!ring.try_pop(out)) {
+        std::this_thread::yield();
+      }
+      if (out.size() != static_cast<std::size_t>(i % 257) ||
+          !check_pattern(out.view(), static_cast<std::uint64_t>(i))) {
+        failed = true;
+        return;
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_TRUE(ring.empty());
+}
+
+// ----------------------------------------------------------------- Region
+
+TEST(RegionRegistry, CreateAttachDestroy) {
+  RegionRegistry reg;
+  auto r = reg.create(/*owner=*/1, 4096);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(reg.region_count(), 1u);
+  EXPECT_EQ(reg.bytes_in_use(), 4096u);
+
+  auto same = reg.attach((*r)->id(), 1);
+  EXPECT_TRUE(same.is_ok());
+  EXPECT_TRUE(reg.destroy((*r)->id()).is_ok());
+  EXPECT_EQ(reg.region_count(), 0u);
+}
+
+TEST(RegionRegistry, EnforcesTenantIsolation) {
+  RegionRegistry reg;
+  auto r = reg.create(1, 1024);
+  ASSERT_TRUE(r.is_ok());
+  auto denied = reg.attach((*r)->id(), 2);
+  EXPECT_EQ(denied.status().code(), Errc::permission_denied);
+
+  (*r)->allow(2);
+  EXPECT_TRUE(reg.attach((*r)->id(), 2).is_ok());
+  auto still_denied = reg.attach((*r)->id(), 3);
+  EXPECT_EQ(still_denied.status().code(), Errc::permission_denied);
+}
+
+TEST(RegionRegistry, CapacityLimit) {
+  RegionRegistry reg;
+  reg.set_capacity(1000);
+  EXPECT_TRUE(reg.create(1, 600).is_ok());
+  auto too_big = reg.create(1, 600);
+  EXPECT_EQ(too_big.status().code(), Errc::resource_exhausted);
+}
+
+TEST(RegionRegistry, RejectsZeroSize) {
+  RegionRegistry reg;
+  EXPECT_EQ(reg.create(1, 0).status().code(), Errc::invalid_argument);
+}
+
+TEST(RegionRegistry, AttachUnknownFails) {
+  RegionRegistry reg;
+  EXPECT_EQ(reg.attach(999, 1).status().code(), Errc::not_found);
+}
+
+// ---------------------------------------------------------------- ShmLane
+
+struct LaneFixture : ::testing::Test {
+  LaneFixture() { cluster.add_hosts(1); }
+  fabric::Cluster cluster;
+};
+
+TEST_F(LaneFixture, DeliversMessagesInOrderWithIntegrity) {
+  ShmLane lane(cluster.host(0), 1 << 20);
+  std::vector<Buffer> got;
+  lane.set_receiver([&](Buffer&& b) { got.push_back(std::move(b)); });
+  for (int i = 0; i < 10; ++i) {
+    Buffer msg(1000 + static_cast<std::size_t>(i));
+    fill_pattern(msg.mutable_view(), static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(lane.send(msg.view()).is_ok());
+  }
+  cluster.loop().run();
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)].size(), 1000u + static_cast<std::size_t>(i));
+    EXPECT_TRUE(check_pattern(got[static_cast<std::size_t>(i)].view(),
+                              static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(lane.messages_delivered(), 10u);
+}
+
+TEST_F(LaneFixture, ChargesSenderAndReceiverCpu) {
+  ShmLane lane(cluster.host(0), 1 << 20);
+  sim::UsageAccount tx("tx"), rx("rx");
+  lane.set_sender_account(&tx);
+  lane.set_receiver_account(&rx);
+  lane.set_receiver([](Buffer&&) {});
+  Buffer msg(100000);
+  ASSERT_TRUE(lane.send(msg.view()).is_ok());
+  cluster.loop().run();
+  const auto& m = cluster.cost_model();
+  EXPECT_NEAR(tx.busy_ns, m.shm_post_ns + m.shm_copy_ns_per_byte * 100000, 1.0);
+  EXPECT_NEAR(rx.busy_ns, m.shm_poll_ns + m.shm_copy_ns_per_byte * 100000, 1.0);
+}
+
+TEST_F(LaneFixture, BackpressureAndOnSpace) {
+  ShmLane lane(cluster.host(0), 1 << 10);  // tiny ring
+  int delivered = 0;
+  lane.set_receiver([&](Buffer&&) { ++delivered; });
+  Buffer big(600);
+  ASSERT_TRUE(lane.send(big.view()).is_ok());
+  const Status blocked = lane.send(big.view());
+  EXPECT_EQ(blocked.code(), Errc::would_block);
+
+  bool space_seen = false;
+  lane.set_on_space([&]() { space_seen = true; });
+  cluster.loop().run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_TRUE(space_seen);
+  EXPECT_TRUE(lane.can_send(600));
+}
+
+TEST_F(LaneFixture, SinglePairThroughputNearMemoryBandwidth) {
+  // The paper's claim: shm throughput approaches memory bandwidth and
+  // dwarfs the 40 Gb/s NIC. Stream 1 MiB messages closed-loop for 20 ms.
+  ShmLane lane(cluster.host(0), 8 << 20);
+  std::uint64_t received = 0;
+  const std::size_t msg = 1 << 20;
+  std::function<void()> refill = [&]() {
+    while (lane.can_send(msg)) {
+      Buffer b(msg);
+      ASSERT_TRUE(lane.send(b.view()).is_ok());
+    }
+  };
+  lane.set_receiver([&](Buffer&& b) { received += b.size(); });
+  lane.set_on_space(refill);
+  refill();
+  cluster.loop().run_until(20 * k_millisecond);
+  const double gbps = throughput_gbps(received, cluster.loop().now());
+  EXPECT_GT(gbps, 90.0);   // far above the 40 Gb/s NIC
+  EXPECT_LT(gbps, 250.0);  // below the memory bus ceiling
+}
+
+TEST_F(LaneFixture, SenderCopiesSerializeOnOneCore) {
+  // Queue several large messages at once: the producer is one thread, so
+  // total elapsed >= sum of the per-message copy costs even on 4 cores.
+  ShmLane lane(cluster.host(0), 32 << 20);
+  int delivered = 0;
+  lane.set_receiver([&](Buffer&&) { ++delivered; });
+  const std::size_t msg = 1 << 20;
+  const auto& m = cluster.cost_model();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(lane.send(Buffer(msg).view()).is_ok());
+  }
+  cluster.loop().run();
+  EXPECT_EQ(delivered, 8);
+  const double copy_ns = m.shm_copy_ns_per_byte * static_cast<double>(msg);
+  EXPECT_GE(static_cast<double>(cluster.loop().now()), 8 * copy_ns);
+}
+
+TEST_F(LaneFixture, InterleavedLanesPreservePerLaneOrder) {
+  ShmLane a(cluster.host(0), 1 << 20);
+  ShmLane b(cluster.host(0), 1 << 20);
+  std::vector<std::uint64_t> got_a, got_b;
+  a.set_receiver([&](Buffer&& msg) {
+    got_a.push_back(static_cast<std::uint64_t>(msg.size()));
+  });
+  b.set_receiver([&](Buffer&& msg) {
+    got_b.push_back(static_cast<std::uint64_t>(msg.size()));
+  });
+  for (std::size_t i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(a.send(Buffer(100 * i).view()).is_ok());
+    ASSERT_TRUE(b.send(Buffer(200 * i).view()).is_ok());
+  }
+  cluster.loop().run();
+  EXPECT_EQ(got_a, (std::vector<std::uint64_t>{100, 200, 300, 400, 500, 600}));
+  EXPECT_EQ(got_b, (std::vector<std::uint64_t>{200, 400, 600, 800, 1000, 1200}));
+}
+
+TEST_F(LaneFixture, ZeroLengthMessageDelivered) {
+  ShmLane lane(cluster.host(0), 1 << 12);
+  bool got = false;
+  lane.set_receiver([&](Buffer&& msg) { got = msg.empty(); });
+  ASSERT_TRUE(lane.send(ByteSpan{}).is_ok());
+  cluster.loop().run();
+  EXPECT_TRUE(got);
+}
+
+TEST_F(LaneFixture, LatencySubMicrosecondForSmallMessages) {
+  ShmLane lane(cluster.host(0), 1 << 20);
+  SimTime sent = 0, got = -1;
+  lane.set_receiver([&](Buffer&&) { got = cluster.loop().now(); });
+  Buffer tiny(64);
+  sent = cluster.loop().now();
+  ASSERT_TRUE(lane.send(tiny.view()).is_ok());
+  cluster.loop().run();
+  const SimDuration oneway = got - sent;
+  EXPECT_GT(oneway, 0);
+  EXPECT_LT(oneway, 2 * k_microsecond);
+}
+
+}  // namespace
+}  // namespace freeflow::shm

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/event_loop.h"
+#include "sim/resource.h"
+
+namespace freeflow::sim {
+namespace {
+
+// -------------------------------------------------------------- EventLoop
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(30, [&]() { order.push_back(3); });
+  loop.schedule(10, [&]() { order.push_back(1); });
+  loop.schedule(20, [&]() { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, FifoAmongEqualTimestamps) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule(100, [&order, i]() { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, NestedSchedulingAdvancesTime) {
+  EventLoop loop;
+  SimTime inner_fired = -1;
+  loop.schedule(10, [&]() {
+    loop.schedule(5, [&]() { inner_fired = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(inner_fired, 15);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool fired = false;
+  EventHandle h = loop.schedule(10, [&]() { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, CancelAfterFireIsHarmless) {
+  EventLoop loop;
+  EventHandle h = loop.schedule(1, []() {});
+  loop.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no crash
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule(10, [&]() { ++fired; });
+  loop.schedule(100, [&]() { ++fired; });
+  loop.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), 50);
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, RunForAdvancesRelative) {
+  EventLoop loop;
+  loop.run_for(1000);
+  EXPECT_EQ(loop.now(), 1000);
+  loop.run_for(500);
+  EXPECT_EQ(loop.now(), 1500);
+}
+
+TEST(EventLoop, CountsExecutedEvents) {
+  EventLoop loop;
+  for (int i = 0; i < 7; ++i) loop.schedule(i, []() {});
+  loop.run();
+  EXPECT_EQ(loop.events_executed(), 7u);
+}
+
+// --------------------------------------------------------------- Resource
+
+TEST(Resource, ServiceTimeMatchesRate) {
+  EventLoop loop;
+  Resource r(loop, "cpu", 1e9, 1);  // 1e9 units/sec: 1 unit = 1 ns
+  EXPECT_EQ(r.service_time(1000), 1000);
+  EXPECT_EQ(r.service_time(0), 0);
+}
+
+TEST(Resource, SingleServerSerializesJobs) {
+  EventLoop loop;
+  Resource r(loop, "link", 1e9, 1);
+  std::vector<SimTime> done;
+  r.submit(1000, [&]() { done.push_back(loop.now()); });
+  r.submit(1000, [&]() { done.push_back(loop.now()); });
+  loop.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 1000);
+  EXPECT_EQ(done[1], 2000);  // queued behind the first
+}
+
+TEST(Resource, MultiServerRunsInParallel) {
+  EventLoop loop;
+  Resource r(loop, "cpu", 1e9, 2);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 4; ++i) {
+    r.submit(1000, [&]() { done.push_back(loop.now()); });
+  }
+  loop.run();
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_EQ(done[0], 1000);
+  EXPECT_EQ(done[1], 1000);
+  EXPECT_EQ(done[2], 2000);
+  EXPECT_EQ(done[3], 2000);
+}
+
+TEST(Resource, ExtraDelayDoesNotHoldServer) {
+  EventLoop loop;
+  Resource r(loop, "link", 1e9, 1);
+  std::vector<SimTime> done;
+  r.submit(1000, [&]() { done.push_back(loop.now()); }, nullptr, 500);
+  r.submit(1000, [&]() { done.push_back(loop.now()); });
+  loop.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 1500);  // 1000 service + 500 propagation
+  EXPECT_EQ(done[1], 2000);  // server freed at 1000, not 1500
+}
+
+TEST(Resource, AccountsBusyTimePerConsumer) {
+  EventLoop loop;
+  Resource r(loop, "cpu", 1e9, 1);
+  UsageAccount alice("alice"), bob("bob");
+  r.submit(300, nullptr, &alice);
+  r.submit(700, nullptr, &bob);
+  loop.run();
+  EXPECT_DOUBLE_EQ(alice.busy_ns, 300.0);
+  EXPECT_DOUBLE_EQ(bob.busy_ns, 700.0);
+  EXPECT_DOUBLE_EQ(r.busy_ns_total(), 1000.0);
+  EXPECT_EQ(r.jobs_served(), 2u);
+}
+
+TEST(Resource, UtilizationOverWindow) {
+  EventLoop loop;
+  Resource r(loop, "cpu", 1e9, 2);
+  r.mark();
+  // One of two servers busy for the whole window: 50 % utilization.
+  r.submit(10000, nullptr);
+  loop.run();
+  EXPECT_EQ(loop.now(), 10000);
+  EXPECT_NEAR(r.utilization_since_mark(), 0.5, 1e-9);
+  EXPECT_NEAR(r.cores_busy_since_mark(), 1.0, 1e-9);
+}
+
+TEST(Resource, BacklogReflectsQueuedWork) {
+  EventLoop loop;
+  Resource r(loop, "bus", 1e9, 1);
+  EXPECT_EQ(r.backlog_ns(), 0);
+  r.submit(5000, nullptr);
+  r.submit(5000, nullptr);
+  EXPECT_EQ(r.backlog_ns(), 10000);
+  loop.run_until(5000);
+  EXPECT_EQ(r.backlog_ns(), 5000);
+}
+
+TEST(Resource, SaturationBoundsThroughput) {
+  // Property: a 1e9-units/sec server finishing N jobs of C units each takes
+  // >= N*C ns regardless of arrival pattern.
+  EventLoop loop;
+  Resource r(loop, "cpu", 1e9, 1);
+  int done = 0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    loop.schedule(i * 3, [&]() { r.submit(1000, [&]() { ++done; }); });
+  }
+  loop.run();
+  EXPECT_EQ(done, n);
+  EXPECT_GE(loop.now(), n * 1000);
+}
+
+// --------------------------------------------------------- SerialExecutor
+
+TEST(SerialExecutor, SerializesEvenWithFreeServers) {
+  EventLoop loop;
+  Resource pool(loop, "cpu", 1e9, 4);  // plenty of parallel capacity
+  SerialExecutor thread(pool);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 4; ++i) {
+    thread.submit(1000, [&]() { done.push_back(loop.now()); });
+  }
+  loop.run();
+  // One at a time: completions at 1000, 2000, 3000, 4000 despite 4 cores.
+  ASSERT_EQ(done.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(done[static_cast<std::size_t>(i)], (i + 1) * 1000);
+}
+
+TEST(SerialExecutor, TwoThreadsShareThePool) {
+  EventLoop loop;
+  Resource pool(loop, "cpu", 1e9, 2);
+  SerialExecutor t1(pool), t2(pool);
+  std::vector<SimTime> done;
+  t1.submit(1000, [&]() { done.push_back(loop.now()); });
+  t2.submit(1000, [&]() { done.push_back(loop.now()); });
+  loop.run();
+  // Different threads DO run in parallel on the 2-core pool.
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 1000);
+  EXPECT_EQ(done[1], 1000);
+}
+
+TEST(SerialExecutor, ContendsWhenPoolSmallerThanThreads) {
+  EventLoop loop;
+  Resource pool(loop, "cpu", 1e9, 1);
+  SerialExecutor t1(pool), t2(pool);
+  std::vector<SimTime> done;
+  t1.submit(1000, [&]() { done.push_back(loop.now()); });
+  t2.submit(1000, [&]() { done.push_back(loop.now()); });
+  loop.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 1000);
+  EXPECT_EQ(done[1], 2000);  // single core: threads serialize at the pool
+}
+
+TEST(SerialExecutor, ChargesAccount) {
+  EventLoop loop;
+  Resource pool(loop, "cpu", 1e9, 2);
+  SerialExecutor thread(pool);
+  UsageAccount acct("worker");
+  thread.submit(500, nullptr, &acct);
+  thread.submit(700, nullptr, &acct);
+  loop.run();
+  EXPECT_DOUBLE_EQ(acct.busy_ns, 1200.0);
+}
+
+TEST(SerialExecutor, BusBacklogDefersStart) {
+  EventLoop loop;
+  Resource pool(loop, "cpu", 1e9, 1);
+  Resource bus(loop, "bus", 1e9, 1);
+  bus.submit(5000, nullptr);  // pre-load the bus: 5 us backlog
+  SerialExecutor thread(pool);
+  SimTime done_at = 0;
+  thread.submit(1000, [&]() { done_at = loop.now(); }, nullptr, &bus, 100);
+  loop.run();
+  // Job start deferred by the observed 5 us backlog, then 1 us of work.
+  EXPECT_EQ(done_at, 6000);
+}
+
+TEST(SerialExecutor, NestedSubmitFromCallbackKeepsOrder) {
+  EventLoop loop;
+  Resource pool(loop, "cpu", 1e9, 4);
+  SerialExecutor thread(pool);
+  std::vector<int> order;
+  thread.submit(100, [&]() {
+    order.push_back(1);
+    thread.submit(100, [&]() { order.push_back(3); });
+  });
+  thread.submit(100, [&]() { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// -------------------------------------------------------------- CostModel
+
+TEST(CostModel, CalibrationInvariants) {
+  const CostModel m;
+  // Host-mode TCP per-chunk cost implies ~38 Gb/s for 64 KiB chunks.
+  const double tx = m.tcp_tx_cost(m.tcp_chunk_bytes);
+  const double gbps = static_cast<double>(m.tcp_chunk_bytes) * 8.0 / tx;
+  EXPECT_GT(gbps, 35.0);
+  EXPECT_LT(gbps, 41.0);
+
+  // Bridge adds enough to land near 27 Gb/s.
+  const double bridged = tx + m.bridge_cost(m.tcp_chunk_bytes);
+  const double bgbps = static_cast<double>(m.tcp_chunk_bytes) * 8.0 / bridged;
+  EXPECT_GT(bgbps, 24.0);
+  EXPECT_LT(bgbps, 30.0);
+
+  // NIC processor can just sustain line rate at the RDMA MTU.
+  const double nic = m.nic_pkt_cost(m.rdma_mtu_bytes);
+  const double ngbps = static_cast<double>(m.rdma_mtu_bytes) * 8.0 / nic;
+  EXPECT_GT(ngbps, m.nic_line_gbps);
+  EXPECT_LT(ngbps, m.nic_line_gbps * 1.15);
+
+  // One-core shm copy beats everything else by a wide margin.
+  const double shm_gbps = 8.0 / m.shm_copy_ns_per_byte;
+  EXPECT_GT(shm_gbps, 100.0);
+}
+
+}  // namespace
+}  // namespace freeflow::sim
