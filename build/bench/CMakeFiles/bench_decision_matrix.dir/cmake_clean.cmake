@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decision_matrix.dir/bench_decision_matrix.cc.o"
+  "CMakeFiles/bench_decision_matrix.dir/bench_decision_matrix.cc.o.d"
+  "bench_decision_matrix"
+  "bench_decision_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decision_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

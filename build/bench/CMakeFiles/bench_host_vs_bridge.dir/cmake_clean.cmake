@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_vs_bridge.dir/bench_host_vs_bridge.cc.o"
+  "CMakeFiles/bench_host_vs_bridge.dir/bench_host_vs_bridge.cc.o.d"
+  "bench_host_vs_bridge"
+  "bench_host_vs_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_vs_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

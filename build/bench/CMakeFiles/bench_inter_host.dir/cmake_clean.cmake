@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inter_host.dir/bench_inter_host.cc.o"
+  "CMakeFiles/bench_inter_host.dir/bench_inter_host.cc.o.d"
+  "bench_inter_host"
+  "bench_inter_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inter_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

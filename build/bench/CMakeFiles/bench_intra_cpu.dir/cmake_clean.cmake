@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intra_cpu.dir/bench_intra_cpu.cc.o"
+  "CMakeFiles/bench_intra_cpu.dir/bench_intra_cpu.cc.o.d"
+  "bench_intra_cpu"
+  "bench_intra_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intra_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intra_latency.dir/bench_intra_latency.cc.o"
+  "CMakeFiles/bench_intra_latency.dir/bench_intra_latency.cc.o.d"
+  "bench_intra_latency"
+  "bench_intra_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intra_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

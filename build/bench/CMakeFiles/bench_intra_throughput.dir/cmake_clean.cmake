@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intra_throughput.dir/bench_intra_throughput.cc.o"
+  "CMakeFiles/bench_intra_throughput.dir/bench_intra_throughput.cc.o.d"
+  "bench_intra_throughput"
+  "bench_intra_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intra_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pair_scaling.dir/bench_pair_scaling.cc.o"
+  "CMakeFiles/bench_pair_scaling.dir/bench_pair_scaling.cc.o.d"
+  "bench_pair_scaling"
+  "bench_pair_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pair_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

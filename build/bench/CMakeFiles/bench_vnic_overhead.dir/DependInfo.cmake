@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_vnic_overhead.cc" "bench/CMakeFiles/bench_vnic_overhead.dir/bench_vnic_overhead.cc.o" "gcc" "bench/CMakeFiles/bench_vnic_overhead.dir/bench_vnic_overhead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ff_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/ff_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/ff_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpdk/CMakeFiles/ff_dpdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/orchestrator/CMakeFiles/ff_orchestrator.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/ff_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpstack/CMakeFiles/ff_tcpstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/ff_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/ff_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

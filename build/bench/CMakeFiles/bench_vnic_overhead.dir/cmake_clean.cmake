@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vnic_overhead.dir/bench_vnic_overhead.cc.o"
+  "CMakeFiles/bench_vnic_overhead.dir/bench_vnic_overhead.cc.o.d"
+  "bench_vnic_overhead"
+  "bench_vnic_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vnic_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

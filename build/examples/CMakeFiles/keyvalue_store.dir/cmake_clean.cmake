@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyvalue_store.dir/keyvalue_store.cpp.o"
+  "CMakeFiles/keyvalue_store.dir/keyvalue_store.cpp.o.d"
+  "keyvalue_store"
+  "keyvalue_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyvalue_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_allreduce.dir/mpi_allreduce.cpp.o"
+  "CMakeFiles/mpi_allreduce.dir/mpi_allreduce.cpp.o.d"
+  "mpi_allreduce"
+  "mpi_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

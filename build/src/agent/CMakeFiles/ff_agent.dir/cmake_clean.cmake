@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_agent.dir/agent.cc.o"
+  "CMakeFiles/ff_agent.dir/agent.cc.o.d"
+  "CMakeFiles/ff_agent.dir/channel.cc.o"
+  "CMakeFiles/ff_agent.dir/channel.cc.o.d"
+  "CMakeFiles/ff_agent.dir/relay.cc.o"
+  "CMakeFiles/ff_agent.dir/relay.cc.o.d"
+  "CMakeFiles/ff_agent.dir/trunk.cc.o"
+  "CMakeFiles/ff_agent.dir/trunk.cc.o.d"
+  "libff_agent.a"
+  "libff_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

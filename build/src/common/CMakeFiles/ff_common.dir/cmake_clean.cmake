@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_common.dir/bytes.cc.o"
+  "CMakeFiles/ff_common.dir/bytes.cc.o.d"
+  "CMakeFiles/ff_common.dir/histogram.cc.o"
+  "CMakeFiles/ff_common.dir/histogram.cc.o.d"
+  "CMakeFiles/ff_common.dir/logging.cc.o"
+  "CMakeFiles/ff_common.dir/logging.cc.o.d"
+  "CMakeFiles/ff_common.dir/status.cc.o"
+  "CMakeFiles/ff_common.dir/status.cc.o.d"
+  "libff_common.a"
+  "libff_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_core.dir/conduit.cc.o"
+  "CMakeFiles/ff_core.dir/conduit.cc.o.d"
+  "CMakeFiles/ff_core.dir/container_net.cc.o"
+  "CMakeFiles/ff_core.dir/container_net.cc.o.d"
+  "CMakeFiles/ff_core.dir/freeflow.cc.o"
+  "CMakeFiles/ff_core.dir/freeflow.cc.o.d"
+  "CMakeFiles/ff_core.dir/mpi.cc.o"
+  "CMakeFiles/ff_core.dir/mpi.cc.o.d"
+  "CMakeFiles/ff_core.dir/selector.cc.o"
+  "CMakeFiles/ff_core.dir/selector.cc.o.d"
+  "CMakeFiles/ff_core.dir/socket.cc.o"
+  "CMakeFiles/ff_core.dir/socket.cc.o.d"
+  "CMakeFiles/ff_core.dir/vqp.cc.o"
+  "CMakeFiles/ff_core.dir/vqp.cc.o.d"
+  "CMakeFiles/ff_core.dir/wire.cc.o"
+  "CMakeFiles/ff_core.dir/wire.cc.o.d"
+  "libff_core.a"
+  "libff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

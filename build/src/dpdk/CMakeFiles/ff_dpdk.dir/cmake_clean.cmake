@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_dpdk.dir/pmd.cc.o"
+  "CMakeFiles/ff_dpdk.dir/pmd.cc.o.d"
+  "libff_dpdk.a"
+  "libff_dpdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_dpdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

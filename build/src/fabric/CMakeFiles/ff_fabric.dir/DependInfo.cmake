@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/cluster.cc" "src/fabric/CMakeFiles/ff_fabric.dir/cluster.cc.o" "gcc" "src/fabric/CMakeFiles/ff_fabric.dir/cluster.cc.o.d"
+  "/root/repo/src/fabric/control.cc" "src/fabric/CMakeFiles/ff_fabric.dir/control.cc.o" "gcc" "src/fabric/CMakeFiles/ff_fabric.dir/control.cc.o.d"
+  "/root/repo/src/fabric/host.cc" "src/fabric/CMakeFiles/ff_fabric.dir/host.cc.o" "gcc" "src/fabric/CMakeFiles/ff_fabric.dir/host.cc.o.d"
+  "/root/repo/src/fabric/nic.cc" "src/fabric/CMakeFiles/ff_fabric.dir/nic.cc.o" "gcc" "src/fabric/CMakeFiles/ff_fabric.dir/nic.cc.o.d"
+  "/root/repo/src/fabric/switch.cc" "src/fabric/CMakeFiles/ff_fabric.dir/switch.cc.o" "gcc" "src/fabric/CMakeFiles/ff_fabric.dir/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

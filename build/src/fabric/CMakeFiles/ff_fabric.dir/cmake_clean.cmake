@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_fabric.dir/cluster.cc.o"
+  "CMakeFiles/ff_fabric.dir/cluster.cc.o.d"
+  "CMakeFiles/ff_fabric.dir/control.cc.o"
+  "CMakeFiles/ff_fabric.dir/control.cc.o.d"
+  "CMakeFiles/ff_fabric.dir/host.cc.o"
+  "CMakeFiles/ff_fabric.dir/host.cc.o.d"
+  "CMakeFiles/ff_fabric.dir/nic.cc.o"
+  "CMakeFiles/ff_fabric.dir/nic.cc.o.d"
+  "CMakeFiles/ff_fabric.dir/switch.cc.o"
+  "CMakeFiles/ff_fabric.dir/switch.cc.o.d"
+  "libff_fabric.a"
+  "libff_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

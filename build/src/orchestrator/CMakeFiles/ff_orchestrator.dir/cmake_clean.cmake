@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_orchestrator.dir/cluster_orchestrator.cc.o"
+  "CMakeFiles/ff_orchestrator.dir/cluster_orchestrator.cc.o.d"
+  "CMakeFiles/ff_orchestrator.dir/container.cc.o"
+  "CMakeFiles/ff_orchestrator.dir/container.cc.o.d"
+  "CMakeFiles/ff_orchestrator.dir/network_orchestrator.cc.o"
+  "CMakeFiles/ff_orchestrator.dir/network_orchestrator.cc.o.d"
+  "libff_orchestrator.a"
+  "libff_orchestrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_orchestrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

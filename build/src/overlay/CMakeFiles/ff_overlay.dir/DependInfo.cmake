@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/ipam.cc" "src/overlay/CMakeFiles/ff_overlay.dir/ipam.cc.o" "gcc" "src/overlay/CMakeFiles/ff_overlay.dir/ipam.cc.o.d"
+  "/root/repo/src/overlay/overlay.cc" "src/overlay/CMakeFiles/ff_overlay.dir/overlay.cc.o" "gcc" "src/overlay/CMakeFiles/ff_overlay.dir/overlay.cc.o.d"
+  "/root/repo/src/overlay/router.cc" "src/overlay/CMakeFiles/ff_overlay.dir/router.cc.o" "gcc" "src/overlay/CMakeFiles/ff_overlay.dir/router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcpstack/CMakeFiles/ff_tcpstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/ff_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/ff_shm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

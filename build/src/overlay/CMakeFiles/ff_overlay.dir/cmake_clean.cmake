@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_overlay.dir/ipam.cc.o"
+  "CMakeFiles/ff_overlay.dir/ipam.cc.o.d"
+  "CMakeFiles/ff_overlay.dir/overlay.cc.o"
+  "CMakeFiles/ff_overlay.dir/overlay.cc.o.d"
+  "CMakeFiles/ff_overlay.dir/router.cc.o"
+  "CMakeFiles/ff_overlay.dir/router.cc.o.d"
+  "libff_overlay.a"
+  "libff_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

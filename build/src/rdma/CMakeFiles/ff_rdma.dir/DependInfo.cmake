@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/cm.cc" "src/rdma/CMakeFiles/ff_rdma.dir/cm.cc.o" "gcc" "src/rdma/CMakeFiles/ff_rdma.dir/cm.cc.o.d"
+  "/root/repo/src/rdma/device.cc" "src/rdma/CMakeFiles/ff_rdma.dir/device.cc.o" "gcc" "src/rdma/CMakeFiles/ff_rdma.dir/device.cc.o.d"
+  "/root/repo/src/rdma/queue_pair.cc" "src/rdma/CMakeFiles/ff_rdma.dir/queue_pair.cc.o" "gcc" "src/rdma/CMakeFiles/ff_rdma.dir/queue_pair.cc.o.d"
+  "/root/repo/src/rdma/verbs.cc" "src/rdma/CMakeFiles/ff_rdma.dir/verbs.cc.o" "gcc" "src/rdma/CMakeFiles/ff_rdma.dir/verbs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/ff_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/ff_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

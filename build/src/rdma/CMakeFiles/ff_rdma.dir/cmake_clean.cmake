@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_rdma.dir/cm.cc.o"
+  "CMakeFiles/ff_rdma.dir/cm.cc.o.d"
+  "CMakeFiles/ff_rdma.dir/device.cc.o"
+  "CMakeFiles/ff_rdma.dir/device.cc.o.d"
+  "CMakeFiles/ff_rdma.dir/queue_pair.cc.o"
+  "CMakeFiles/ff_rdma.dir/queue_pair.cc.o.d"
+  "CMakeFiles/ff_rdma.dir/verbs.cc.o"
+  "CMakeFiles/ff_rdma.dir/verbs.cc.o.d"
+  "libff_rdma.a"
+  "libff_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shm/channel.cc" "src/shm/CMakeFiles/ff_shm.dir/channel.cc.o" "gcc" "src/shm/CMakeFiles/ff_shm.dir/channel.cc.o.d"
+  "/root/repo/src/shm/region.cc" "src/shm/CMakeFiles/ff_shm.dir/region.cc.o" "gcc" "src/shm/CMakeFiles/ff_shm.dir/region.cc.o.d"
+  "/root/repo/src/shm/spsc_ring.cc" "src/shm/CMakeFiles/ff_shm.dir/spsc_ring.cc.o" "gcc" "src/shm/CMakeFiles/ff_shm.dir/spsc_ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/ff_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_shm.dir/channel.cc.o"
+  "CMakeFiles/ff_shm.dir/channel.cc.o.d"
+  "CMakeFiles/ff_shm.dir/region.cc.o"
+  "CMakeFiles/ff_shm.dir/region.cc.o.d"
+  "CMakeFiles/ff_shm.dir/spsc_ring.cc.o"
+  "CMakeFiles/ff_shm.dir/spsc_ring.cc.o.d"
+  "libff_shm.a"
+  "libff_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

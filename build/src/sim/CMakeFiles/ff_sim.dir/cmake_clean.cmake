@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_sim.dir/event_loop.cc.o"
+  "CMakeFiles/ff_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/ff_sim.dir/resource.cc.o"
+  "CMakeFiles/ff_sim.dir/resource.cc.o.d"
+  "libff_sim.a"
+  "libff_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

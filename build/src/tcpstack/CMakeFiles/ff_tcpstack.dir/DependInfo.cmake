@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcpstack/connection.cc" "src/tcpstack/CMakeFiles/ff_tcpstack.dir/connection.cc.o" "gcc" "src/tcpstack/CMakeFiles/ff_tcpstack.dir/connection.cc.o.d"
+  "/root/repo/src/tcpstack/ip.cc" "src/tcpstack/CMakeFiles/ff_tcpstack.dir/ip.cc.o" "gcc" "src/tcpstack/CMakeFiles/ff_tcpstack.dir/ip.cc.o.d"
+  "/root/repo/src/tcpstack/modes.cc" "src/tcpstack/CMakeFiles/ff_tcpstack.dir/modes.cc.o" "gcc" "src/tcpstack/CMakeFiles/ff_tcpstack.dir/modes.cc.o.d"
+  "/root/repo/src/tcpstack/network.cc" "src/tcpstack/CMakeFiles/ff_tcpstack.dir/network.cc.o" "gcc" "src/tcpstack/CMakeFiles/ff_tcpstack.dir/network.cc.o.d"
+  "/root/repo/src/tcpstack/path.cc" "src/tcpstack/CMakeFiles/ff_tcpstack.dir/path.cc.o" "gcc" "src/tcpstack/CMakeFiles/ff_tcpstack.dir/path.cc.o.d"
+  "/root/repo/src/tcpstack/routing.cc" "src/tcpstack/CMakeFiles/ff_tcpstack.dir/routing.cc.o" "gcc" "src/tcpstack/CMakeFiles/ff_tcpstack.dir/routing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/ff_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/ff_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ff_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

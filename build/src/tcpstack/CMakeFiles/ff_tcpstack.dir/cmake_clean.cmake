@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_tcpstack.dir/connection.cc.o"
+  "CMakeFiles/ff_tcpstack.dir/connection.cc.o.d"
+  "CMakeFiles/ff_tcpstack.dir/ip.cc.o"
+  "CMakeFiles/ff_tcpstack.dir/ip.cc.o.d"
+  "CMakeFiles/ff_tcpstack.dir/modes.cc.o"
+  "CMakeFiles/ff_tcpstack.dir/modes.cc.o.d"
+  "CMakeFiles/ff_tcpstack.dir/network.cc.o"
+  "CMakeFiles/ff_tcpstack.dir/network.cc.o.d"
+  "CMakeFiles/ff_tcpstack.dir/path.cc.o"
+  "CMakeFiles/ff_tcpstack.dir/path.cc.o.d"
+  "CMakeFiles/ff_tcpstack.dir/routing.cc.o"
+  "CMakeFiles/ff_tcpstack.dir/routing.cc.o.d"
+  "libff_tcpstack.a"
+  "libff_tcpstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_tcpstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

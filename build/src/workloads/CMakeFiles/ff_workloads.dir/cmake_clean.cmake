@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_workloads.dir/drivers.cc.o"
+  "CMakeFiles/ff_workloads.dir/drivers.cc.o.d"
+  "CMakeFiles/ff_workloads.dir/kv_store.cc.o"
+  "CMakeFiles/ff_workloads.dir/kv_store.cc.o.d"
+  "CMakeFiles/ff_workloads.dir/param_server.cc.o"
+  "CMakeFiles/ff_workloads.dir/param_server.cc.o.d"
+  "CMakeFiles/ff_workloads.dir/shuffle.cc.o"
+  "CMakeFiles/ff_workloads.dir/shuffle.cc.o.d"
+  "CMakeFiles/ff_workloads.dir/stream_adapter.cc.o"
+  "CMakeFiles/ff_workloads.dir/stream_adapter.cc.o.d"
+  "libff_workloads.a"
+  "libff_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

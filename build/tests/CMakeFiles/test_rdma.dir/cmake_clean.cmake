@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdma.dir/test_rdma.cc.o"
+  "CMakeFiles/test_rdma.dir/test_rdma.cc.o.d"
+  "test_rdma"
+  "test_rdma.pdb"
+  "test_rdma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
