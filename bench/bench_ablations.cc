@@ -12,7 +12,9 @@ using namespace freeflow;
 using namespace freeflow::bench;
 using namespace freeflow::workloads;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport json(argc, argv, "ablations");
+
   constexpr SimDuration k_window = 40 * k_millisecond;
   constexpr std::size_t k_msg = 1 << 20;
 
@@ -25,6 +27,7 @@ int main() {
     FreeFlowRig rig(true, sim::CostModel{}, fabric::NicCapabilities{}, cfg);
     auto r = drive_freeflow_stream(rig.env.cluster, rig.net_a, rig.net_b, rig.b->ip(),
                                    9000, k_msg, k_window);
+    json.add(zero_copy ? "zerocopy_gbps" : "copy_gbps", r.goodput_gbps);
     std::printf("%-14s %8.1f Gb/s %9.0f %%\n", zero_copy ? "zero-copy" : "copy",
                 r.goodput_gbps, r.host_cpu_cores * 100);
   }

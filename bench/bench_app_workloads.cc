@@ -66,9 +66,11 @@ KvResult run_kv(StreamPtr client_stream, fabric::Cluster& cluster, int ops) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("Application workloads: KV store + MapReduce shuffle",
          "§1 motivation (key-value stores, big-data analytics)");
+
+  JsonReport json(argc, argv, "app_workloads");
 
   constexpr int k_ops = 20000;
 
@@ -89,6 +91,8 @@ int main() {
                      });
     FF_CHECK(spin(rig.env.cluster, [&]() { return conn != nullptr; }, 10 * k_second));
     auto r = run_kv(std::make_shared<TcpStream>(conn), rig.env.cluster, k_ops);
+    json.add("kv_overlay_kops", r.kops);
+    json.add("kv_overlay_p99_ns", static_cast<double>(r.p99));
     std::printf("%-26s %8.1f kops/s   p50 %-10s p99 %s\n", "KV over overlay",
                 r.kops, format_ns(static_cast<double>(r.p50)).c_str(),
                 format_ns(static_cast<double>(r.p99)).c_str());
@@ -108,6 +112,8 @@ int main() {
     });
     FF_CHECK(spin(rig.env.cluster, [&]() { return sock != nullptr; }, 10 * k_second));
     auto r = run_kv(std::make_shared<FlowSocketStream>(sock), rig.env.cluster, k_ops);
+    json.add("kv_freeflow_kops", r.kops);
+    json.add("kv_freeflow_p99_ns", static_cast<double>(r.p99));
     std::printf("%-26s %8.1f kops/s   p50 %-10s p99 %s   (via %s)\n",
                 "KV over FreeFlow", r.kops,
                 format_ns(static_cast<double>(r.p50)).c_str(),
@@ -156,6 +162,7 @@ int main() {
     shuffle.run([&]() { return rig.env.loop().now(); },
                 [&](SimDuration e) { elapsed = e; });
     FF_CHECK(spin(rig.env.cluster, [&]() { return elapsed != 0; }, 600 * k_second));
+    json.add("shuffle_overlay_ns", static_cast<double>(elapsed));
     std::printf("%-26s completion %-10s (%.1f Gb/s aggregate)\n",
                 "shuffle over overlay", format_ns(static_cast<double>(elapsed)).c_str(),
                 throughput_gbps(shuffle.bytes_expected_total(), elapsed));
@@ -195,6 +202,7 @@ int main() {
     SimDuration elapsed = 0;
     shuffle.run([&]() { return env.loop().now(); }, [&](SimDuration e) { elapsed = e; });
     FF_CHECK(spin(env.cluster, [&]() { return elapsed != 0; }, 600 * k_second));
+    json.add("shuffle_freeflow_ns", static_cast<double>(elapsed));
     std::printf("%-26s completion %-10s (%.1f Gb/s aggregate)\n",
                 "shuffle over FreeFlow", format_ns(static_cast<double>(elapsed)).c_str(),
                 throughput_gbps(shuffle.bytes_expected_total(), elapsed));

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.h"
@@ -20,6 +21,54 @@
 #include "workloads/drivers.h"
 
 namespace freeflow::bench {
+
+/// Machine-readable sidecar for a bench run. Every bench constructs one from
+/// its argv; passing `--json <path>` (or a non-empty default path) makes the
+/// destructor write `{"bench": ..., "metrics": {...}}` to that file. Metrics
+/// are flat key → number; keys appear in insertion order.
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv, std::string bench_name,
+             std::string default_path = {})
+      : name_(std::move(bench_name)), path_(std::move(default_path)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+    }
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  void add(std::string key, double value) {
+    metrics_.emplace_back(std::move(key), value);
+  }
+
+  ~JsonReport() { flush(); }
+
+  void flush() {
+    if (path_.empty() || flushed_) return;
+    flushed_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", name_.c_str());
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.6g", i == 0 ? "" : ",",
+                   metrics_[i].first.c_str(), metrics_[i].second);
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("json report: %s\n", path_.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  bool flushed_ = false;
+};
 
 inline void banner(const char* title, const char* paper_ref) {
   std::printf("\n=== %s ===\n", title);

@@ -19,9 +19,11 @@ bool spin(fabric::Cluster& cluster, const std::function<bool()>& pred,
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("Control plane: convergence, setup latency, cache effectiveness",
          "extension: §4.1 'centralized control-plane' costs quantified");
+
+  JsonReport json(argc, argv, "control_plane");
 
   // ---- 1. BGP-lite route convergence vs cluster size ---------------------
   std::printf("route convergence (announce one container, all routers learn):\n");
@@ -45,6 +47,8 @@ int main() {
       return true;
     }, k_second);
     FF_CHECK(converged);
+    json.add("convergence_ns_" + std::to_string(hosts) + "hosts",
+             static_cast<double>(cluster.loop().now() - start));
     std::printf("%8d %16s\n", hosts,
                 format_ns(static_cast<double>(cluster.loop().now() - start)).c_str());
   }
@@ -73,6 +77,8 @@ int main() {
       sock = *s;
     });
     FF_CHECK(spin(rig.env.cluster, [&]() { return sock != nullptr; }, 10 * k_second));
+    json.add(std::string(c.name) + "_setup_ns",
+             static_cast<double>(rig.env.loop().now() - start));
     std::printf("%-14s %16s   (via %s)\n", c.name,
                 format_ns(static_cast<double>(rig.env.loop().now() - start)).c_str(),
                 orch::transport_name(sock->transport()).data());

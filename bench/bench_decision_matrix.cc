@@ -35,9 +35,12 @@ void print_row(const char* constraint, bool trusted, bool rdma_nic) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("Transport decision matrix",
          "Table 1 (commented in paper source): best transport per case");
+
+  JsonReport json(argc, argv, "decision_matrix");
+  json.add("rows", 3);
 
   std::printf("%-14s | %-12s %-12s %-12s %-12s\n", "constraint", "(a) same BM",
               "(b) diff BM", "(c) same VM", "(d) diff VM");

@@ -7,9 +7,11 @@ using namespace freeflow;
 using namespace freeflow::bench;
 using namespace freeflow::workloads;
 
-int main() {
+int main(int argc, char** argv) {
   banner("Fig. 1: host mode vs overlay mode vs shared-memory IPC",
          "Figure 1 (intro_exist2.pdf), one host, 2 containers");
+
+  JsonReport json(argc, argv, "fig1_three_modes");
 
   constexpr SimDuration k_window = 50 * k_millisecond;
   constexpr std::size_t k_msg = 1 << 20;
@@ -24,6 +26,8 @@ int main() {
     auto report = drive_shm_stream(cluster, 0, 1, k_msg, k_window);
     const SimDuration rtt = shm_rtt(cluster, 0, 64, 31);
     const SimDuration big = shm_rtt(cluster, 0, 1 << 20, 11);
+    json.add("shm_gbps", report.goodput_gbps);
+    json.add("shm_rtt_64b_ns", static_cast<double>(rtt));
     std::printf("%-16s %10.1f Gb/s %16s %16s\n", "shared-memory", report.goodput_gbps,
                 format_ns(static_cast<double>(rtt)).c_str(),
                 format_ns(static_cast<double>(big) / 2).c_str());
@@ -41,6 +45,8 @@ int main() {
     const SimDuration big = tcp_rtt(big_rig.cluster, *big_rig.net,
                                     big_rig.endpoints[0].first,
                                     big_rig.endpoints[0].second, 1 << 20, 11);
+    json.add("host_gbps", report.goodput_gbps);
+    json.add("host_rtt_64b_ns", static_cast<double>(rtt));
     std::printf("%-16s %10.1f Gb/s %16s %16s\n", "host mode", report.goodput_gbps,
                 format_ns(static_cast<double>(rtt)).c_str(),
                 format_ns(static_cast<double>(big) / 2).c_str());
@@ -59,6 +65,8 @@ int main() {
     const SimDuration big =
         tcp_rtt(big_rig.env.cluster, *big_rig.net, big_rig.endpoints[0].first,
                 {big_rig.endpoints[0].second.ip, 9200}, 1 << 20, 11);
+    json.add("overlay_gbps", report.goodput_gbps);
+    json.add("overlay_rtt_64b_ns", static_cast<double>(rtt));
     std::printf("%-16s %10.1f Gb/s %16s %16s\n", "overlay mode", report.goodput_gbps,
                 format_ns(static_cast<double>(rtt)).c_str(),
                 format_ns(static_cast<double>(big) / 2).c_str());

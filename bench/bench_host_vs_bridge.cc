@@ -7,9 +7,11 @@ using namespace freeflow;
 using namespace freeflow::bench;
 using namespace freeflow::workloads;
 
-int main() {
+int main(int argc, char** argv) {
   banner("Host mode vs bridge mode throughput (message-size sweep)",
          "Fig. eval_bw_host_bridge (paper: 38 vs 27 Gb/s)");
+
+  JsonReport json(argc, argv, "host_vs_bridge");
 
   constexpr SimDuration k_window = 40 * k_millisecond;
   std::printf("%-12s %16s %16s %10s\n", "msg size", "host mode", "bridge mode",
@@ -24,6 +26,8 @@ int main() {
     TcpRig bridge_rig(TcpRig::Mode::bridge, 1, 1);
     auto bridge = drive_tcp_stream(bridge_rig.cluster, *bridge_rig.net,
                                    bridge_rig.endpoints, msg, k_window);
+    json.add("host_gbps_" + std::to_string(msg / 1024) + "kib", host.goodput_gbps);
+    json.add("bridge_gbps_" + std::to_string(msg / 1024) + "kib", bridge.goodput_gbps);
     std::printf("%9zu KiB %11.1f Gb/s %11.1f Gb/s %9.2fx\n", msg / 1024,
                 host.goodput_gbps, bridge.goodput_gbps,
                 host.goodput_gbps / bridge.goodput_gbps);

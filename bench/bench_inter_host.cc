@@ -9,9 +9,11 @@ using namespace freeflow;
 using namespace freeflow::bench;
 using namespace freeflow::workloads;
 
-int main() {
+int main(int argc, char** argv) {
   banner("Inter-host: overlay vs host TCP vs RDMA vs FreeFlow",
          "§2.3.2 (inter-host) + §5 working flow (Fig. 6)");
+
+  JsonReport json(argc, argv, "inter_host");
 
   constexpr SimDuration k_window = 50 * k_millisecond;
   constexpr std::size_t k_msg = 1 << 20;
@@ -25,6 +27,7 @@ int main() {
     OverlayRig rtt_rig(2, 1, true);
     auto rtt = tcp_rtt(rtt_rig.env.cluster, *rtt_rig.net, rtt_rig.endpoints[0].first,
                        {rtt_rig.endpoints[0].second.ip, 9100}, 64, 31);
+    json.add("tcp_overlay_gbps", r.goodput_gbps);
     std::printf("%-22s %8.1f Gb/s %9.0f %% %14s\n", "tcp (overlay mode)",
                 r.goodput_gbps, r.host_cpu_cores * 100,
                 format_ns(static_cast<double>(rtt)).c_str());
@@ -35,6 +38,7 @@ int main() {
     TcpRig rtt_rig(TcpRig::Mode::host, 2, 1);
     auto rtt = tcp_rtt(rtt_rig.cluster, *rtt_rig.net, rtt_rig.endpoints[0].first,
                        rtt_rig.endpoints[0].second, 64, 31);
+    json.add("tcp_host_gbps", r.goodput_gbps);
     std::printf("%-22s %8.1f Gb/s %9.0f %% %14s\n", "tcp (host mode)", r.goodput_gbps,
                 r.host_cpu_cores * 100, format_ns(static_cast<double>(rtt)).c_str());
   }
@@ -47,6 +51,7 @@ int main() {
     c2.add_hosts(2);
     rdma::RdmaDevice a2(c2.host(0)), b2(c2.host(1));
     auto rtt = rdma_rtt(c2, a2, b2, 64, 31);
+    json.add("rdma_gbps", r.goodput_gbps);
     std::printf("%-22s %8.1f Gb/s %9.0f %% %14s\n", "rdma (raw verbs)", r.goodput_gbps,
                 r.host_cpu_cores * 100, format_ns(static_cast<double>(rtt)).c_str());
   }
@@ -58,6 +63,7 @@ int main() {
     FreeFlowRig rtt_rig(true, sim::CostModel{}, caps);
     auto rtt = freeflow_rtt(rtt_rig.env.cluster, rtt_rig.net_a, rtt_rig.net_b,
                             rtt_rig.b->ip(), 9000, 64, 31);
+    json.add(std::string(name) + " gbps", r.goodput_gbps);
     std::printf("%-22s %8.1f Gb/s %9.0f %% %14s   %s\n", name, r.goodput_gbps,
                 r.host_cpu_cores * 100, format_ns(static_cast<double>(rtt)).c_str(),
                 note);

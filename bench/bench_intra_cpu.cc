@@ -9,9 +9,11 @@ using namespace freeflow;
 using namespace freeflow::bench;
 using namespace freeflow::workloads;
 
-int main() {
+int main(int argc, char** argv) {
   banner("Intra-host CPU usage while streaming, 1 container pair",
          "Fig. eval_baremetal_cpu (paper: TCP ~200%, RDMA low, shm some)");
+
+  JsonReport json(argc, argv, "intra_cpu");
 
   constexpr SimDuration k_window = 50 * k_millisecond;
   constexpr std::size_t k_msg = 1 << 20;
@@ -19,7 +21,10 @@ int main() {
   std::printf("%-22s %12s %12s %12s\n", "transport", "throughput", "host CPU",
               "NIC proc");
 
-  auto row = [](const char* name, const ThroughputReport& r, const char* note = "") {
+  auto row = [&json](const char* name, const ThroughputReport& r,
+                    const char* note = "") {
+    json.add(std::string(name) + " gbps", r.goodput_gbps);
+    json.add(std::string(name) + " host_cpu_cores", r.host_cpu_cores);
     std::printf("%-22s %8.1f Gb/s %9.0f %% %9.0f %%  %s\n", name, r.goodput_gbps,
                 r.host_cpu_cores * 100.0, r.nic_proc_util * 100.0, note);
   };

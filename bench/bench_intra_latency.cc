@@ -9,9 +9,11 @@ using namespace freeflow;
 using namespace freeflow::bench;
 using namespace freeflow::workloads;
 
-int main() {
+int main(int argc, char** argv) {
   banner("Intra-host latency, 1 container pair",
          "Fig. eval_baremetal_latency (paper: shm lowest; TCP ~1ms large)");
+
+  JsonReport json(argc, argv, "intra_latency");
 
   std::printf("%-22s %14s %18s\n", "transport", "64B RTT", "1MiB one-way");
 
@@ -22,6 +24,8 @@ int main() {
     OverlayRig r2(1, 1, false);
     const auto big = tcp_rtt(r2.env.cluster, *r2.net, r2.endpoints[0].first,
                              {r2.endpoints[0].second.ip, 9200}, 1 << 20, 11);
+    json.add("tcp_overlay_rtt_64b_ns", static_cast<double>(rtt));
+    json.add("tcp_overlay_1mib_oneway_ns", static_cast<double>(big) / 2);
     std::printf("%-22s %14s %18s\n", "tcp (overlay mode)",
                 format_ns(static_cast<double>(rtt)).c_str(),
                 format_ns(static_cast<double>(big) / 2).c_str());
@@ -33,6 +37,7 @@ int main() {
     TcpRig r2(TcpRig::Mode::bridge, 1, 1);
     const auto big = tcp_rtt(r2.cluster, *r2.net, r2.endpoints[0].first,
                              r2.endpoints[0].second, 1 << 20, 11);
+    json.add("tcp_bridge_rtt_64b_ns", static_cast<double>(rtt));
     std::printf("%-22s %14s %18s\n", "tcp (bridge mode)",
                 format_ns(static_cast<double>(rtt)).c_str(),
                 format_ns(static_cast<double>(big) / 2).c_str());
@@ -44,6 +49,7 @@ int main() {
     TcpRig r2(TcpRig::Mode::host, 1, 1);
     const auto big = tcp_rtt(r2.cluster, *r2.net, r2.endpoints[0].first,
                              r2.endpoints[0].second, 1 << 20, 11);
+    json.add("tcp_host_rtt_64b_ns", static_cast<double>(rtt));
     std::printf("%-22s %14s %18s\n", "tcp (host mode)",
                 format_ns(static_cast<double>(rtt)).c_str(),
                 format_ns(static_cast<double>(big) / 2).c_str());
@@ -57,6 +63,7 @@ int main() {
     c2.add_hosts(1);
     rdma::RdmaDevice dev2(c2.host(0));
     const auto big = rdma_rtt(c2, dev2, dev2, 1 << 20, 11);
+    json.add("rdma_rtt_64b_ns", static_cast<double>(rtt));
     std::printf("%-22s %14s %18s\n", "rdma (intra-host)",
                 format_ns(static_cast<double>(rtt)).c_str(),
                 format_ns(static_cast<double>(big) / 2).c_str());
@@ -66,6 +73,7 @@ int main() {
     cluster.add_hosts(1);
     const auto rtt = shm_rtt(cluster, 0, 64, 31);
     const auto big = shm_rtt(cluster, 0, 1 << 20, 11);
+    json.add("shm_rtt_64b_ns", static_cast<double>(rtt));
     std::printf("%-22s %14s %18s\n", "shared memory",
                 format_ns(static_cast<double>(rtt)).c_str(),
                 format_ns(static_cast<double>(big) / 2).c_str());
@@ -77,6 +85,7 @@ int main() {
     FreeFlowRig r2(false);
     const auto big = freeflow_rtt(r2.env.cluster, r2.net_a, r2.net_b, r2.b->ip(), 9000,
                                   1 << 20, 11);
+    json.add("freeflow_rtt_64b_ns", static_cast<double>(rtt));
     std::printf("%-22s %14s %18s\n", "FreeFlow (intra-host)",
                 format_ns(static_cast<double>(rtt)).c_str(),
                 format_ns(static_cast<double>(big) / 2).c_str());

@@ -10,9 +10,11 @@ using namespace freeflow;
 using namespace freeflow::bench;
 using namespace freeflow::workloads;
 
-int main() {
+int main(int argc, char** argv) {
   banner("Intra-host throughput, 1 container pair, 1 MiB messages",
          "Fig. eval_baremetal_thr (paper: 27 / 40 / ~memBW Gb/s)");
+
+  JsonReport json(argc, argv, "intra_throughput");
 
   constexpr SimDuration k_window = 50 * k_millisecond;
   constexpr std::size_t k_msg = 1 << 20;
@@ -22,16 +24,19 @@ int main() {
   {
     OverlayRig rig(1, 1, false);
     auto r = drive_tcp_stream(rig.env.cluster, *rig.net, rig.endpoints, k_msg, k_window);
+    json.add("tcp_overlay_gbps", r.goodput_gbps);
     std::printf("%-22s %8.1f Gb/s\n", "tcp (overlay mode)", r.goodput_gbps);
   }
   {
     TcpRig rig(TcpRig::Mode::bridge, 1, 1);
     auto r = drive_tcp_stream(rig.cluster, *rig.net, rig.endpoints, k_msg, k_window);
+    json.add("tcp_bridge_gbps", r.goodput_gbps);
     std::printf("%-22s %8.1f Gb/s\n", "tcp (bridge mode)", r.goodput_gbps);
   }
   {
     TcpRig rig(TcpRig::Mode::host, 1, 1);
     auto r = drive_tcp_stream(rig.cluster, *rig.net, rig.endpoints, k_msg, k_window);
+    json.add("tcp_host_gbps", r.goodput_gbps);
     std::printf("%-22s %8.1f Gb/s\n", "tcp (host mode)", r.goodput_gbps);
   }
   {
@@ -39,6 +44,7 @@ int main() {
     cluster.add_hosts(1);
     rdma::RdmaDevice dev(cluster.host(0));
     auto r = drive_rdma_stream(cluster, dev, dev, 1, k_msg, k_window);
+    json.add("rdma_gbps", r.goodput_gbps);
     std::printf("%-22s %8.1f Gb/s   (NIC hairpin: capped at line rate)\n",
                 "rdma (intra-host)", r.goodput_gbps);
   }
@@ -46,6 +52,7 @@ int main() {
     fabric::Cluster cluster;
     cluster.add_hosts(1);
     auto r = drive_shm_stream(cluster, 0, 1, k_msg, k_window);
+    json.add("shm_gbps", r.goodput_gbps);
     std::printf("%-22s %8.1f Gb/s   (near memory bandwidth)\n", "shared memory",
                 r.goodput_gbps);
   }
@@ -53,6 +60,7 @@ int main() {
     FreeFlowRig rig(/*inter_host=*/false);
     auto r = drive_freeflow_stream(rig.env.cluster, rig.net_a, rig.net_b, rig.b->ip(),
                                    9000, k_msg, k_window);
+    json.add("freeflow_gbps", r.goodput_gbps);
     std::printf("%-22s %8.1f Gb/s   (transparently picked shm)\n",
                 "FreeFlow (intra-host)", r.goodput_gbps);
   }

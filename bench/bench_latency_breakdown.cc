@@ -17,9 +17,11 @@ void stack_row(const char* stage, double ns) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("Latency breakdown (64 B, one way), per transport",
          "Fig. 3 plan: 'stacked bar chart of latency components'");
+
+  JsonReport json(argc, argv, "latency_breakdown");
 
   const sim::CostModel m;
   const double wire64 = static_cast<double>(transmission_time(64 + 78, m.nic_line_gbps * 1e9)) +
@@ -55,15 +57,17 @@ int main() {
   {
     fabric::Cluster c;
     c.add_hosts(1);
-    std::printf("  %-24s %10s\n", "shared memory",
-                format_ns(static_cast<double>(shm_rtt(c, 0, 64, 31)) / 2).c_str());
+    const double ns = static_cast<double>(shm_rtt(c, 0, 64, 31)) / 2;
+    json.add("shm_oneway_64b_ns", ns);
+    std::printf("  %-24s %10s\n", "shared memory", format_ns(ns).c_str());
   }
   {
     fabric::Cluster c;
     c.add_hosts(2);
     rdma::RdmaDevice a(c.host(0)), b(c.host(1));
-    std::printf("  %-24s %10s\n", "rdma inter-host",
-                format_ns(static_cast<double>(rdma_rtt(c, a, b, 64, 31)) / 2).c_str());
+    const double ns = static_cast<double>(rdma_rtt(c, a, b, 64, 31)) / 2;
+    json.add("rdma_oneway_64b_ns", ns);
+    std::printf("  %-24s %10s\n", "rdma inter-host", format_ns(ns).c_str());
   }
   {
     TcpRig rig(TcpRig::Mode::host, 2, 1);

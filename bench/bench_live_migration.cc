@@ -18,9 +18,11 @@ bool spin(fabric::Cluster& cluster, const std::function<bool()>& pred,
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("Live migration: transparent transport re-selection",
          "§7 Discussion (FreeFlow as a live-migration enabler)");
+
+  JsonReport json(argc, argv, "live_migration");
 
   FreeFlowRig rig(/*inter_host=*/true);
   auto& cluster = rig.env.cluster;
@@ -58,6 +60,7 @@ int main() {
   const std::uint64_t p1_bytes0 = received;
   cluster.loop().run_until(p1_start + 20 * k_millisecond);
   const double p1_gbps = throughput_gbps(received - p1_bytes0, 20 * k_millisecond);
+  json.add("phase1_gbps", p1_gbps);
   std::printf("phase 1 (inter-host, %s): %.1f Gb/s\n",
               orch::transport_name(client->transport()).data(), p1_gbps);
 
@@ -84,6 +87,7 @@ int main() {
   const std::uint64_t p2_bytes0 = received;
   cluster.loop().run_until(p2_start + 20 * k_millisecond);
   const double p2_gbps = throughput_gbps(received - p2_bytes0, 20 * k_millisecond);
+  json.add("phase2_gbps", p2_gbps);
   std::printf("phase 2 (co-located, %s): %.1f Gb/s (%.1fx phase 1)\n",
               orch::transport_name(client->transport()).data(), p2_gbps,
               p2_gbps / p1_gbps);

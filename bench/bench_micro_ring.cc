@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "shm/spsc_ring.h"
 
@@ -65,4 +67,24 @@ BENCHMARK(BM_RingTwoThreads)->Arg(64)->Arg(1024)->Arg(16384)->Arg(65536)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Accepts the harness-wide `--json <path>` flag by mapping it onto
+// google-benchmark's native JSON reporter.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, fmt_flag = "--benchmark_out_format=json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      out_flag = std::string("--benchmark_out=") + argv[i + 1];
+      args.erase(args.begin() + i, args.begin() + i + 2);
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+      break;
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,9 +10,11 @@ using namespace freeflow;
 using namespace freeflow::bench;
 using namespace freeflow::workloads;
 
-int main() {
+int main(int argc, char** argv) {
   banner("Pair scaling: throughput / host CPU / NIC CPU vs #pairs",
          "Fig. 2(a)(b)(c) plan; lines: TCP, RDMA, SHM, memory bus");
+
+  JsonReport json(argc, argv, "pair_scaling");
 
   constexpr SimDuration k_window = 40 * k_millisecond;
   constexpr std::size_t k_msg = 1 << 20;
@@ -41,6 +43,9 @@ int main() {
     shm_cluster.add_hosts(1);
     auto shm = drive_shm_stream(shm_cluster, 0, pairs, k_msg, k_window);
 
+    json.add("tcp_gbps_" + std::to_string(pairs) + "pairs", tcp.goodput_gbps);
+    json.add("rdma_gbps_" + std::to_string(pairs) + "pairs", rdma.goodput_gbps);
+    json.add("shm_gbps_" + std::to_string(pairs) + "pairs", shm.goodput_gbps);
     std::printf("%5d | %8.1f %8.1f %8.1f | %6.2f %7.2f %7.2f | %8.0f %%\n", pairs,
                 tcp.goodput_gbps, rdma.goodput_gbps, shm.goodput_gbps,
                 tcp.host_cpu_cores, rdma.host_cpu_cores, shm.host_cpu_cores,

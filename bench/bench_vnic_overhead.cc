@@ -58,9 +58,11 @@ SimDuration freeflow_write_once(FreeFlowRig& rig) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("vNIC indirection: RDMA WRITE 1 MiB, end-to-end placement time",
          "§5 working flows (Figs. 5/6/7): same verbs call, three data planes");
+
+  JsonReport json(argc, argv, "vnic_overhead");
 
   std::printf("%-34s %14s\n", "path", "1MiB placement");
 
@@ -82,18 +84,21 @@ int main() {
     FF_CHECK(qa->post_send(wr).is_ok());
     FF_CHECK(spin(cluster, [&]() { return check_pattern(dst->data().view(), 3); },
                   30 * k_second));
+    json.add("raw_verbs_1mib_ns", static_cast<double>(cluster.loop().now() - t0));
     std::printf("%-34s %14s\n", "raw verbs (hardware path, Fig.5)",
                 format_ns(static_cast<double>(cluster.loop().now() - t0)).c_str());
   }
   {
     FreeFlowRig rig(/*inter_host=*/true);
     const SimDuration t = freeflow_write_once(rig);
+    json.add("freeflow_inter_1mib_ns", static_cast<double>(t));
     std::printf("%-34s %14s\n", "FreeFlow inter-host (Fig.6 flow)",
                 format_ns(static_cast<double>(t)).c_str());
   }
   {
     FreeFlowRig rig(/*inter_host=*/false);
     const SimDuration t = freeflow_write_once(rig);
+    json.add("freeflow_intra_1mib_ns", static_cast<double>(t));
     std::printf("%-34s %14s\n", "FreeFlow intra-host (Fig.7, shm)",
                 format_ns(static_cast<double>(t)).c_str());
   }

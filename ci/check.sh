@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build + tests in the normal config, then again under
+# ASan+UBSan (-DFREEFLOW_SANITIZE=ON). Run from the repo root:
+#   ci/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+echo "== normal config (build/)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== sanitized config (build-asan/)"
+cmake -B build-asan -S . -DFREEFLOW_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$jobs"
+# detect_leaks=0: several tests leak object graphs at exit via known
+# Conduit<->Channel shared_ptr cycles (see ROADMAP open items). ASan's
+# memory-error and UBSan's undefined-behavior checks stay fully enabled.
+ASAN_OPTIONS=detect_leaks=0 \
+  ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "== all checks passed"

@@ -1,0 +1,140 @@
+// A fixed-capacity, move-only callable with small-buffer-only storage: the
+// capture is placed inline (never on the heap) and captures larger than the
+// capacity are rejected at compile time. This is what makes the event-loop
+// hot path allocation-free: an InlineFunction costs one placement-new and a
+// vtable-style ops pointer, versus std::function's heap allocation for any
+// capture above ~16 bytes.
+//
+// Contract differences from std::function, chosen for the simulator:
+//   - move-only (events are scheduled once and fired once);
+//   - capture must be nothrow-move-constructible and at most pointer/double
+//     aligned (the storage is 8-byte aligned, not max_align_t, so the object
+//     stays tightly packed inside Event structs);
+//   - invoking an empty InlineFunction aborts (FF_CHECK) instead of throwing.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "common/status.h"
+
+namespace freeflow::common {
+
+template <typename Sig, std::size_t Capacity>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  static constexpr std::size_t k_capacity = Capacity;
+  static constexpr std::size_t k_align = alignof(double);
+
+  InlineFunction() noexcept = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
+  InlineFunction(std::nullptr_t) noexcept {}
+
+  /// Wraps any callable whose decayed type fits the inline storage. A capture
+  /// that is too large is a compile error by design: shrink it or box part of
+  /// it behind a pointer at the call site (cold paths may heap-box; hot paths
+  /// should shrink).
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): callables convert implicitly.
+  InlineFunction(F&& f) {
+    static_assert(sizeof(D) <= Capacity,
+                  "capture too large for InlineFunction: shrink the capture "
+                  "or box it behind a pointer");
+    static_assert(alignof(D) <= k_align,
+                  "capture over-aligned for InlineFunction storage");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "InlineFunction captures must be nothrow-movable");
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+    ops_ = &k_ops<D>;
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  R operator()(Args... args) {
+    FF_CHECK(ops_ != nullptr);
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+  friend bool operator==(const InlineFunction& f, std::nullptr_t) noexcept {
+    return f.ops_ == nullptr;
+  }
+
+  /// Destroys the held callable, leaving the function empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    // Null entries mark trivially relocatable/destructible captures: moves
+    // become an inline fixed-size memcpy and destruction a no-op — no
+    // indirect call on the event-loop hot path for pointer/POD captures.
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct + destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool k_trivial =
+      std::is_trivially_copyable_v<D> && std::is_trivially_destructible_v<D>;
+
+  template <typename D>
+  static constexpr Ops k_ops = {
+      [](void* s, Args&&... args) -> R {
+        return (*static_cast<D*>(s))(std::forward<Args>(args)...);
+      },
+      k_trivial<D> ? nullptr
+                   : +[](void* dst, void* src) noexcept {
+                       D* d = static_cast<D*>(src);
+                       ::new (dst) D(std::move(*d));
+                       d->~D();
+                     },
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* s) noexcept { static_cast<D*>(s)->~D(); },
+  };
+
+  void move_from(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+      } else {
+        std::memcpy(storage_, other.storage_, Capacity);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(k_align) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace freeflow::common

@@ -1,0 +1,108 @@
+// Slab recycler for shared_ptr-managed simulation objects. allocate_shared
+// through a freelist-backed allocator puts the object and its control block
+// in one recycled slab block, so steady-state packet traffic performs zero
+// heap allocations: blocks are carved from chunks once and then cycle
+// between the freelist and live objects.
+//
+// The freelist state is owned by a shared_ptr that every live allocation's
+// control block also references, so pool-before-object destruction order is
+// safe (blocks returned after the pool dies are freed with the state).
+//
+// NOT thread-safe: the simulation core is single-threaded by design.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/status.h"
+
+namespace freeflow::common {
+
+template <typename T>
+class SlabPool {
+ public:
+  SlabPool() : state_(std::make_shared<State>()) {}
+
+  /// Constructs a T in a recycled slab block. Destruction returns the block
+  /// (object + control block) to the freelist instead of the heap.
+  template <typename... Args>
+  std::shared_ptr<T> make(Args&&... args) {
+    return std::allocate_shared<T>(Alloc<T>(state_), std::forward<Args>(args)...);
+  }
+
+  /// Blocks currently sitting in the freelist (observability for tests).
+  [[nodiscard]] std::size_t free_blocks() const noexcept {
+    return state_->free_blocks.size();
+  }
+  /// Total blocks ever carved (live + free).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return state_->chunks.size() * k_blocks_per_chunk;
+  }
+
+ private:
+  static constexpr std::size_t k_blocks_per_chunk = 64;
+
+  struct State {
+    std::size_t block_size = 0;   // fixed by the first allocation
+    std::size_t block_align = 0;
+    std::vector<void*> chunks;
+    std::vector<void*> free_blocks;
+
+    ~State() {
+      for (void* c : chunks) {
+        ::operator delete(c, std::align_val_t(block_align));
+      }
+    }
+  };
+
+  template <typename U>
+  struct Alloc {
+    using value_type = U;
+
+    explicit Alloc(std::shared_ptr<State> s) noexcept : state(std::move(s)) {}
+    template <typename V>
+    // NOLINTNEXTLINE(google-explicit-constructor): allocator rebind.
+    Alloc(const Alloc<V>& other) noexcept : state(other.state) {}
+
+    U* allocate(std::size_t n) {
+      FF_CHECK(n == 1);
+      State& s = *state;
+      if (s.block_size == 0) {
+        s.block_size = sizeof(U);
+        s.block_align = alignof(U);
+      }
+      // One pool serves exactly one allocate_shared node type.
+      FF_CHECK(sizeof(U) == s.block_size && alignof(U) <= s.block_align);
+      if (s.free_blocks.empty()) refill(s);
+      void* p = s.free_blocks.back();
+      s.free_blocks.pop_back();
+      return static_cast<U*>(p);
+    }
+
+    void deallocate(U* p, std::size_t) noexcept {
+      state->free_blocks.push_back(p);
+    }
+
+    friend bool operator==(const Alloc& a, const Alloc& b) noexcept {
+      return a.state == b.state;
+    }
+
+    std::shared_ptr<State> state;
+  };
+
+  static void refill(State& s) {
+    auto* chunk = static_cast<unsigned char*>(
+        ::operator new(s.block_size * k_blocks_per_chunk, std::align_val_t(s.block_align)));
+    s.chunks.push_back(chunk);
+    s.free_blocks.reserve(s.free_blocks.size() + k_blocks_per_chunk);
+    for (std::size_t i = 0; i < k_blocks_per_chunk; ++i) {
+      s.free_blocks.push_back(chunk + i * s.block_size);
+    }
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace freeflow::common

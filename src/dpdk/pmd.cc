@@ -54,7 +54,7 @@ void DpdkPort::pump_tx() {
   *emit = [this, emit, msg, msg_id, total, dst, &m](std::uint32_t offset) {
     const std::uint32_t n =
         total == 0 ? 0 : std::min(k_frame_payload, total - offset);
-    auto frame = std::make_shared<DpdkFrame>();
+    auto frame = acquire_frame();
     frame->msg_id = msg_id;
     frame->total_len = total;
     frame->offset = offset;
@@ -62,7 +62,7 @@ void DpdkPort::pump_tx() {
     if (n > 0) frame->payload = Buffer(msg->data() + offset, n);
 
     pmd_core_.submit(m.dpdk_pkt_cost(n), [this, frame, dst, emit, offset, n]() {
-      auto packet = std::make_shared<fabric::Packet>();
+      auto packet = fabric::acquire_packet();
       packet->dst_host = dst;
       packet->wire_bytes = static_cast<std::uint32_t>(frame->payload.size()) + k_frame_header;
       packet->kind = fabric::PacketKind::dpdk_frame;

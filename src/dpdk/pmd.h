@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "common/bytes.h"
+#include "common/slab_pool.h"
 #include "common/status.h"
 #include "fabric/host.h"
 #include "fabric/packet.h"
@@ -28,6 +29,12 @@ struct DpdkFrame final : fabric::PacketBody {
   bool last = false;
   Buffer payload;
 };
+
+/// Acquires a fresh DpdkFrame from the process-wide slab pool.
+inline std::shared_ptr<DpdkFrame> acquire_frame() {
+  static common::SlabPool<DpdkFrame> pool;
+  return pool.make();
+}
 
 class DpdkPort {
  public:

@@ -1,6 +1,15 @@
 #include "fabric/control.h"
 
+#include "common/slab_pool.h"
+
 namespace freeflow::fabric {
+
+namespace {
+std::shared_ptr<ControlBody> acquire_control_body() {
+  static common::SlabPool<ControlBody> pool;
+  return pool.make();
+}
+}  // namespace
 
 void install_control_rx(Host& host) {
   host.nic().set_rx_handler(PacketKind::control, [](PacketPtr packet) {
@@ -15,9 +24,9 @@ void send_control(Host& src, HostId dst_host, std::uint32_t wire_bytes,
     src.loop().schedule(1 * k_microsecond, std::move(on_arrival));
     return;
   }
-  auto body = std::make_shared<ControlBody>();
+  auto body = acquire_control_body();
   body->on_arrival = std::move(on_arrival);
-  auto packet = std::make_shared<Packet>();
+  auto packet = acquire_packet();
   packet->dst_host = dst_host;
   packet->wire_bytes = wire_bytes;
   packet->kind = PacketKind::control;

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/slab_pool.h"
+
 namespace freeflow::fabric {
 
 using HostId = std::uint32_t;
@@ -35,6 +37,13 @@ struct Packet {
 };
 
 using PacketPtr = std::shared_ptr<Packet>;
+
+/// Acquires a fresh Packet from the process-wide slab pool. The shell and
+/// its control block are recycled: steady-state traffic allocates nothing.
+inline PacketPtr acquire_packet() {
+  static common::SlabPool<Packet> pool;
+  return pool.make();
+}
 
 template <typename T>
 std::shared_ptr<T> body_as(const PacketPtr& packet) {

@@ -51,7 +51,7 @@ std::uint32_t RdmaDevice::wire_bytes(const RdmaChunk& chunk) noexcept {
 }
 
 void RdmaDevice::transmit(fabric::HostId dst_host, std::shared_ptr<RdmaChunk> chunk) {
-  auto packet = std::make_shared<fabric::Packet>();
+  auto packet = fabric::acquire_packet();
   packet->dst_host = dst_host;
   packet->wire_bytes = wire_bytes(*chunk);
   packet->kind = fabric::PacketKind::rdma_chunk;
@@ -114,7 +114,7 @@ void RdmaDevice::handle_read_request(const std::shared_ptr<RdmaChunk>& request,
   const auto& m = host_.cost_model();
 
   if (mr == nullptr || request->remote.offset + request->read_len > mr->length()) {
-    auto nak = std::make_shared<RdmaChunk>();
+    auto nak = acquire_chunk();
     nak->kind = RdmaChunk::Kind::ack;
     nak->opcode = Opcode::read;
     nak->dst_qp = request->src_qp;
@@ -132,7 +132,7 @@ void RdmaDevice::handle_read_request(const std::shared_ptr<RdmaChunk>& request,
   auto emit = std::make_shared<std::function<void(std::uint32_t)>>();
   *emit = [this, emit, mr, request, requester, total, mtu, &m](std::uint32_t offset) {
     const std::uint32_t n = std::min(mtu, total - offset);
-    auto chunk = std::make_shared<RdmaChunk>();
+    auto chunk = acquire_chunk();
     chunk->kind = RdmaChunk::Kind::data;
     chunk->opcode = Opcode::read;
     chunk->src_qp = request->dst_qp;
@@ -155,7 +155,7 @@ void RdmaDevice::handle_read_request(const std::shared_ptr<RdmaChunk>& request,
   };
   if (total == 0) {
     // Zero-length read completes immediately with an empty last chunk.
-    auto chunk = std::make_shared<RdmaChunk>();
+    auto chunk = acquire_chunk();
     chunk->kind = RdmaChunk::Kind::data;
     chunk->opcode = Opcode::read;
     chunk->src_qp = request->dst_qp;

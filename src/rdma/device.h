@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/bytes.h"
+#include "common/slab_pool.h"
 #include "fabric/host.h"
 #include "fabric/packet.h"
 #include "rdma/verbs.h"
@@ -35,6 +36,12 @@ struct RdmaChunk final : fabric::PacketBody {
   RemoteBuffer remote;         ///< write/read target
   std::uint32_t read_len = 0;  ///< read_request only
 };
+
+/// Acquires a fresh RdmaChunk from the process-wide slab pool.
+inline std::shared_ptr<RdmaChunk> acquire_chunk() {
+  static common::SlabPool<RdmaChunk> pool;
+  return pool.make();
+}
 
 class RdmaDevice {
  public:

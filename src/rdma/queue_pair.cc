@@ -74,7 +74,7 @@ void QueuePair::pump() {
 }
 
 void QueuePair::emit_read_request(const SendWr& wr, std::uint64_t msg_id) {
-  auto req = std::make_shared<RdmaChunk>();
+  auto req = acquire_chunk();
   req->kind = RdmaChunk::Kind::read_request;
   req->opcode = Opcode::read;
   req->src_qp = num_;
@@ -102,7 +102,7 @@ void QueuePair::emit_chunks(const SendWr& wr, std::uint64_t msg_id) {
   auto emit = std::make_shared<std::function<void(std::uint32_t)>>();
   *emit = [self, emit, wr, msg_id, total, mtu, &m](std::uint32_t offset) {
     const std::uint32_t n = total == 0 ? 0 : std::min(mtu, total - offset);
-    auto chunk = std::make_shared<RdmaChunk>();
+    auto chunk = acquire_chunk();
     chunk->kind = RdmaChunk::Kind::data;
     chunk->opcode = wr.opcode;
     chunk->src_qp = self->num_;
@@ -235,7 +235,7 @@ void QueuePair::finish_wr(const SendWr& wr, std::uint32_t byte_len, WcStatus sta
 }
 
 void QueuePair::send_ack(const std::shared_ptr<RdmaChunk>& chunk, WcStatus status) {
-  auto ack = std::make_shared<RdmaChunk>();
+  auto ack = acquire_chunk();
   ack->kind = RdmaChunk::Kind::ack;
   ack->opcode = chunk->opcode;
   ack->src_qp = num_;

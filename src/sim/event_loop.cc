@@ -1,31 +1,116 @@
 #include "sim/event_loop.h"
 
+#include <bit>
+
 namespace freeflow::sim {
 
-EventHandle EventLoop::schedule(SimDuration delay, std::function<void()> fn) {
-  FF_CHECK(delay >= 0);
-  return schedule_at(now_ + delay, std::move(fn));
+namespace {
+/// Global execution order: (timestamp, insertion seq).
+inline bool earlier(SimTime a_at, std::uint64_t a_seq, SimTime b_at,
+                    std::uint64_t b_seq) noexcept {
+  return a_at < b_at || (a_at == b_at && a_seq < b_seq);
+}
+}  // namespace
+
+EventLoop::EventLoop()
+    : wheel_(k_wheel_slots),
+      bitmap_(k_bitmap_words, 0),
+      summary_(k_summary_words, 0) {}
+
+// -------------------------------------------------------------- execution
+
+const EventLoop::Event* EventLoop::peek_wheel() noexcept {
+  if (drain_head_ < drain_buf_.size()) return &drain_buf_[drain_head_];
+  if (wheel_live_ == 0) return nullptr;
+  const auto cursor = static_cast<std::uint32_t>(now_ & k_wheel_mask);
+  std::int32_t s = scan_bitmap(cursor);
+  if (s < 0) s = scan_bitmap(0);  // wrapped: slots before the cursor are later times
+  if (s < 0) return nullptr;      // unreachable while wheel_live_ > 0
+  // Peek only — the slot is drained lazily by step() once it wins the
+  // (at, seq) tie-break against the heap. Swapping it out here would be
+  // premature: a heap event executing first could schedule a new wheel
+  // event earlier than this slot's timestamp, which a non-empty drain
+  // buffer would wrongly shadow.
+  scanned_slot_ = static_cast<std::uint32_t>(s);
+  return &wheel_[scanned_slot_].front();
 }
 
-EventHandle EventLoop::schedule_at(SimTime at, std::function<void()> fn) {
-  FF_CHECK(at >= now_);
-  auto cancelled = std::make_shared<bool>(false);
-  EventHandle handle{std::weak_ptr<bool>(cancelled)};
-  queue_.push(Event{at, next_seq_++, std::move(fn), std::move(cancelled)});
-  return handle;
+std::int32_t EventLoop::scan_bitmap(std::uint32_t begin_slot) const noexcept {
+  std::uint32_t w = begin_slot >> 6;
+  const std::uint64_t first = bitmap_[w] & (~0ULL << (begin_slot & 63U));
+  if (first != 0) {
+    return static_cast<std::int32_t>((w << 6) + std::countr_zero(first));
+  }
+  // Skip empty words via the summary level (one bit per bitmap word).
+  for (std::uint32_t word = w + 1; word < k_bitmap_words;) {
+    const std::uint32_t sw = word >> 6;
+    const std::uint64_t sbits = summary_[sw] >> (word & 63U);
+    if (sbits == 0) {
+      word = (sw + 1) << 6;
+      continue;
+    }
+    word += static_cast<std::uint32_t>(std::countr_zero(sbits));
+    return static_cast<std::int32_t>((word << 6) +
+                                     std::countr_zero(bitmap_[word]));
+  }
+  return -1;
+}
+
+void EventLoop::set_bit(std::uint32_t slot) noexcept {
+  bitmap_[slot >> 6] |= 1ULL << (slot & 63U);
+  summary_[slot >> 12] |= 1ULL << ((slot >> 6) & 63U);
+}
+
+void EventLoop::clear_bit(std::uint32_t slot) noexcept {
+  std::uint64_t& word = bitmap_[slot >> 6];
+  word &= ~(1ULL << (slot & 63U));
+  if (word == 0) summary_[slot >> 12] &= ~(1ULL << ((slot >> 6) & 63U));
 }
 
 bool EventLoop::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (*ev.cancelled) continue;
-    now_ = ev.at;
-    ++executed_;
-    ev.fn();
-    return true;
+  if (wheel_live_ == 0 && heap_.empty()) return false;
+  const Event* w = peek_wheel();
+  bool from_heap;
+  if (w == nullptr) {
+    from_heap = true;
+  } else if (heap_.empty()) {
+    from_heap = false;
+  } else {
+    const Event& h = heap_.front();
+    from_heap = earlier(h.at, h.seq, w->at, w->seq);
   }
-  return false;
+  ++executed_;
+  if (from_heap) {
+    Event ev = heap_pop_min();
+    now_ = ev.at;
+    if (ev.token != nullptr) release_token(ev.token);
+    ev.fn();
+  } else {
+    if (drain_head_ >= drain_buf_.size()) {
+      // Commit to the slot peek_wheel() found: swap it out whole. Its first
+      // event executes now, so now_ advances to the slot's timestamp and no
+      // later insert can be earlier than the buffered remainder. The slot
+      // inherits the buffer's (empty, capacity-bearing) storage, so slot and
+      // buffer capacities recirculate — steady state never reallocates. The
+      // bit clears now; a callback scheduling back into the same residue
+      // starts a fresh slot (same timestamp, higher seq: still FIFO).
+      drain_buf_.clear();
+      drain_head_ = 0;
+      std::swap(drain_buf_, wheel_[scanned_slot_]);
+      clear_bit(scanned_slot_);
+    }
+    // Invoke in place: the drain buffer never reallocates or shifts at or
+    // below drain_head_ while a callback runs (refills need an empty buffer,
+    // cancellation only erases live entries at >= drain_head_), so the
+    // callback executes straight out of queue storage with no final move.
+    Event& ev = drain_buf_[drain_head_++];
+    --wheel_live_;
+    now_ = ev.at;
+    if (ev.token != nullptr) release_token(ev.token);
+    ev.fn();
+    ev.fn = nullptr;  // destroy the capture now, not at the next slot refill
+  }
+  return true;
 }
 
 SimTime EventLoop::run() {
@@ -35,17 +120,136 @@ SimTime EventLoop::run() {
 }
 
 SimTime EventLoop::run_until(SimTime deadline) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (*top.cancelled) {
-      queue_.pop();
-      continue;
+  while (wheel_live_ != 0 || !heap_.empty()) {
+    const Event* w = peek_wheel();
+    SimTime next_at = 0;
+    bool have = false;
+    if (w != nullptr) {
+      next_at = w->at;
+      have = true;
     }
-    if (top.at > deadline) break;
+    if (!heap_.empty() && (!have || heap_.front().at < next_at)) {
+      next_at = heap_.front().at;
+      have = true;
+    }
+    if (!have || next_at > deadline) break;
     step();
   }
   if (now_ < deadline) now_ = deadline;
   return now_;
+}
+
+// ------------------------------------------------------------ cancellation
+
+CancelToken* EventLoop::acquire_token() {
+  if (free_tokens_.empty()) {
+    token_pool_.emplace_back();
+    return &token_pool_.back();
+  }
+  CancelToken* t = free_tokens_.back();
+  free_tokens_.pop_back();
+  return t;
+}
+
+void EventLoop::release_token(CancelToken* t) noexcept {
+  ++t->gen;  // invalidates every outstanding handle for this arming
+  free_tokens_.push_back(t);
+}
+
+void EventLoop::cancel_token(CancelToken* t, std::uint64_t gen) noexcept {
+  if (t == nullptr || t->gen != gen) return;  // already fired or cancelled
+  if (t->in_heap) {
+    heap_remove(t->heap_pos);
+  } else {
+    // The event sits either in the drain buffer (its slot is mid-drain) or
+    // in its wheel slot. Erase eagerly: no tombstones, no deferred sweep.
+    bool erased = false;
+    if (drain_head_ < drain_buf_.size() && drain_buf_.front().at == t->at) {
+      for (std::size_t i = drain_head_; i < drain_buf_.size(); ++i) {
+        if (drain_buf_[i].seq == t->seq) {
+          drain_buf_.erase(drain_buf_.begin() + static_cast<std::ptrdiff_t>(i));
+          erased = true;
+          break;
+        }
+      }
+    }
+    if (!erased) {
+      const auto idx = static_cast<std::uint32_t>(t->at & k_wheel_mask);
+      Slot& slot = wheel_[idx];
+      for (std::size_t i = 0; i < slot.size(); ++i) {
+        if (slot[i].seq == t->seq) {
+          slot.erase(slot.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      if (slot.empty()) clear_bit(idx);
+    }
+    --wheel_live_;
+  }
+  release_token(t);
+}
+
+// ------------------------------------------------- position-tracked heap
+
+void EventLoop::heap_place(std::uint32_t pos, Event ev) noexcept {
+  heap_[pos] = std::move(ev);
+  if (heap_[pos].token != nullptr) heap_[pos].token->heap_pos = pos;
+}
+
+std::uint32_t EventLoop::sift_up(std::uint32_t pos, const Event& ev) noexcept {
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 2;
+    Event& p = heap_[parent];
+    if (!earlier(ev.at, ev.seq, p.at, p.seq)) break;
+    heap_place(pos, std::move(p));
+    pos = parent;
+  }
+  return pos;
+}
+
+std::uint32_t EventLoop::sift_down(std::uint32_t pos, const Event& ev) noexcept {
+  const auto size = static_cast<std::uint32_t>(heap_.size());
+  while (true) {
+    std::uint32_t child = 2 * pos + 1;
+    if (child >= size) break;
+    if (child + 1 < size && earlier(heap_[child + 1].at, heap_[child + 1].seq,
+                                    heap_[child].at, heap_[child].seq)) {
+      ++child;
+    }
+    Event& c = heap_[child];
+    if (!earlier(c.at, c.seq, ev.at, ev.seq)) break;
+    heap_place(pos, std::move(c));
+    pos = child;
+  }
+  return pos;
+}
+
+void EventLoop::heap_push(Event ev) {
+  heap_.emplace_back();  // hole at the end; filled via heap_place below
+  const auto pos = sift_up(static_cast<std::uint32_t>(heap_.size() - 1), ev);
+  heap_place(pos, std::move(ev));
+}
+
+EventLoop::Event EventLoop::heap_pop_min() {
+  Event top = std::move(heap_.front());
+  Event last = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    const auto pos = sift_down(0, last);
+    heap_place(pos, std::move(last));
+  }
+  return top;
+}
+
+void EventLoop::heap_remove(std::uint32_t pos) {
+  Event last = std::move(heap_.back());
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    // Re-insert the displaced tail entry at the vacated position.
+    std::uint32_t p = sift_up(pos, last);
+    if (p == pos) p = sift_down(pos, last);
+    heap_place(p, std::move(last));
+  }
 }
 
 }  // namespace freeflow::sim

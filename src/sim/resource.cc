@@ -18,8 +18,8 @@ SimDuration Resource::service_time(double units) const noexcept {
   return static_cast<SimDuration>(units / units_per_second_ * 1e9);
 }
 
-void Resource::submit(double units, std::function<void()> on_done,
-                      UsageAccount* account, SimDuration extra_delay) {
+void Resource::submit(double units, DoneFn on_done, UsageAccount* account,
+                      SimDuration extra_delay) {
   // FIFO assignment to the earliest-free server.
   auto it = std::min_element(free_at_.begin(), free_at_.end());
   const SimTime start = std::max(loop_.now(), *it);
@@ -27,7 +27,7 @@ void Resource::submit(double units, std::function<void()> on_done,
   const SimTime done = start + svc;
   *it = done;
   loop_.schedule_at(done + extra_delay,
-                    [this, svc, account, cb = std::move(on_done)]() {
+                    [this, svc, account, cb = std::move(on_done)]() mutable {
                       busy_ns_ += static_cast<double>(svc);
                       ++jobs_served_;
                       if (account != nullptr) account->busy_ns += static_cast<double>(svc);
@@ -56,8 +56,8 @@ double Resource::cores_busy_since_mark() const noexcept {
   return utilization_since_mark() * static_cast<double>(free_at_.size());
 }
 
-void SerialExecutor::submit(double units, std::function<void()> done,
-                            UsageAccount* account, Resource* bus, double bus_bytes) {
+void SerialExecutor::submit(double units, DoneFn done, UsageAccount* account,
+                            Resource* bus, double bus_bytes) {
   queue_.push_back(Job{units, std::move(done), account, bus, bus_bytes});
   if (!busy_) start_next();
 }
@@ -68,27 +68,29 @@ void SerialExecutor::start_next() {
     return;
   }
   busy_ = true;
-  Job job = std::move(queue_.front());
+  active_ = std::move(queue_.front());
   queue_.pop_front();
 
-  auto run = [this, job = std::move(job)]() mutable {
-    pool_.submit(job.units,
-                 [this, done = std::move(job.done)]() {
-                   if (done) done();
-                   start_next();
-                 },
-                 job.account);
-  };
-  if (job.bus != nullptr && job.bus_bytes > 0) {
+  if (active_.bus != nullptr && active_.bus_bytes > 0) {
     // Memory-bus coupling: the copy stalls by the bus backlog seen now.
-    const SimDuration wait = job.bus->backlog_ns();
-    job.bus->submit(job.bus_bytes, nullptr);
+    const SimDuration wait = active_.bus->backlog_ns();
+    active_.bus->submit(active_.bus_bytes, nullptr);
     if (wait > 0) {
-      pool_.loop().schedule(wait, std::move(run));
+      pool_.loop().schedule(wait, [this]() { launch_active(); });
       return;
     }
   }
-  run();
+  launch_active();
+}
+
+void SerialExecutor::launch_active() {
+  pool_.submit(active_.units, [this]() { finish_active(); }, active_.account);
+}
+
+void SerialExecutor::finish_active() {
+  DoneFn done = std::move(active_.done);
+  if (done) done();  // may re-submit; the active slot is already released
+  start_next();
 }
 
 }  // namespace freeflow::sim

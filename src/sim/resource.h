@@ -6,10 +6,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/units.h"
 #include "sim/event_loop.h"
 
@@ -22,6 +22,11 @@ struct UsageAccount {
 
   explicit UsageAccount(std::string n = "") : name(std::move(n)) {}
 };
+
+/// Completion callback for resource jobs. Inline capture only (64 bytes):
+/// keeps the packet hot path allocation-free. Sized so that one embedded
+/// std::function or a few pointers fit; a larger capture fails to compile.
+using DoneFn = common::InlineFunction<void(), 64>;
 
 class Resource {
  public:
@@ -36,8 +41,8 @@ class Resource {
   /// Enqueues `units` of work. `on_done` fires when service completes plus
   /// `extra_delay` (used for link propagation). `account`, if non-null, is
   /// charged the service time.
-  void submit(double units, std::function<void()> on_done,
-              UsageAccount* account = nullptr, SimDuration extra_delay = 0);
+  void submit(double units, DoneFn on_done, UsageAccount* account = nullptr,
+              SimDuration extra_delay = 0);
 
   /// Service time for `units` of work on one server, in virtual ns.
   [[nodiscard]] SimDuration service_time(double units) const noexcept;
@@ -89,25 +94,30 @@ class SerialExecutor {
 
   /// Runs `units` of work (after an optional pre-delay modeling memory-bus
   /// backpressure computed at start time via `bus_bytes` on `bus`).
-  void submit(double units, std::function<void()> done,
-              UsageAccount* account = nullptr, Resource* bus = nullptr,
-              double bus_bytes = 0);
+  void submit(double units, DoneFn done, UsageAccount* account = nullptr,
+              Resource* bus = nullptr, double bus_bytes = 0);
 
   [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
 
  private:
   struct Job {
     double units;
-    std::function<void()> done;
+    DoneFn done;
     UsageAccount* account;
     Resource* bus;
     double bus_bytes;
   };
 
+  // The in-flight job lives in `active_` (not in a callback capture): the
+  // loop/pool callbacks then only capture `this`, which keeps them well under
+  // the inline-capture budget and avoids nesting DoneFn inside DoneFn.
   void start_next();
+  void launch_active();
+  void finish_active();
 
   Resource& pool_;
   std::deque<Job> queue_;
+  Job active_{};
   bool busy_ = false;
 };
 

@@ -59,7 +59,7 @@ void TcpConnection::pump() {
 }
 
 void TcpConnection::transmit_chunk(std::uint64_t seq, const Buffer& chunk) {
-  auto seg = std::make_shared<Segment>();
+  auto seg = acquire_segment();
   seg->flow = flow_;
   seg->kind = SegKind::data;
   seg->seq = seq;
@@ -68,7 +68,7 @@ void TcpConnection::transmit_chunk(std::uint64_t seq, const Buffer& chunk) {
 }
 
 void TcpConnection::send_control(SegKind kind, std::uint64_t seq) {
-  auto seg = std::make_shared<Segment>();
+  auto seg = acquire_segment();
   seg->flow = flow_;
   seg->kind = kind;
   seg->seq = seq;
@@ -171,7 +171,7 @@ void TcpConnection::update_rtt(SimDuration sample) {
 void TcpConnection::arm_rto() {
   rto_timer_.cancel();
   auto self = weak_from_this();
-  rto_timer_ = net_.loop().schedule(rto(), [self]() {
+  rto_timer_ = net_.loop().schedule_cancellable(rto(), [self]() {
     if (auto conn = self.lock()) conn->on_rto();
   });
 }

@@ -44,7 +44,7 @@ void TcpNetwork::connect(Endpoint local, const Endpoint& remote, ConnectFn on_co
   connections_.emplace(flow, conn);
   pending_connects_.emplace(flow, std::move(on_connected));
 
-  auto syn = std::make_shared<Segment>();
+  auto syn = acquire_segment();
   syn->flow = flow;
   syn->kind = SegKind::syn;
   syn->syn_reverse = std::make_shared<const PathPair>(std::move(reverse.value()));
@@ -64,7 +64,7 @@ void TcpNetwork::handle_syn(const SegmentPtr& seg) {
   auto lit = listeners_.find(listen_at.key());
   if (lit == listeners_.end()) {
     // Connection refused: RST travels the reverse control path.
-    auto rst = std::make_shared<Segment>();
+    auto rst = acquire_segment();
     rst->flow = flow;
     rst->kind = SegKind::rst;
     if (seg->syn_reverse) {

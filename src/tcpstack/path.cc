@@ -1,5 +1,6 @@
 #include "tcpstack/path.h"
 
+#include "common/slab_pool.h"
 #include "shm/channel.h"
 
 namespace freeflow::tcp {
@@ -8,22 +9,27 @@ namespace {
 /// Fabric packet body carrying a TCP segment and its pending continuation.
 struct WireBody final : fabric::PacketBody {
   SegmentPtr seg;
-  std::function<void()> next;
+  sim::DoneFn next;
 };
+
+std::shared_ptr<WireBody> acquire_wire_body() {
+  static common::SlabPool<WireBody> pool;
+  return pool.make();
+}
 }  // namespace
 
-void CpuHop::transit(const SegmentPtr& seg, std::function<void()> next) {
+void CpuHop::transit(const SegmentPtr& seg, sim::DoneFn next) {
   const double cost = cost_(*seg);
   const double bus_bytes = bus_factor_ * static_cast<double>(seg->payload_bytes());
   thread_->submit(cost, std::move(next), account_,
                   bus_bytes > 0 ? &host_.membus() : nullptr, bus_bytes);
 }
 
-void WireHop::transit(const SegmentPtr& seg, std::function<void()> next) {
-  auto body = std::make_shared<WireBody>();
+void WireHop::transit(const SegmentPtr& seg, sim::DoneFn next) {
+  auto body = acquire_wire_body();
   body->seg = seg;
   body->next = std::move(next);
-  auto packet = std::make_shared<fabric::Packet>();
+  auto packet = fabric::acquire_packet();
   packet->dst_host = dst_;
   packet->wire_bytes = seg->wire_bytes();
   packet->kind = fabric::PacketKind::tcp_frame;
@@ -38,12 +44,12 @@ void WireHop::install_rx(fabric::Host& host) {
   });
 }
 
-void DelayHop::transit(const SegmentPtr& seg, std::function<void()> next) {
+void DelayHop::transit(const SegmentPtr& seg, sim::DoneFn next) {
   (void)seg;
   loop_.schedule(delay_, std::move(next));
 }
 
-void LossHop::transit(const SegmentPtr& seg, std::function<void()> next) {
+void LossHop::transit(const SegmentPtr& seg, sim::DoneFn next) {
   (void)seg;
   if (rng_.chance(p_)) {
     ++dropped_;
@@ -52,21 +58,20 @@ void LossHop::transit(const SegmentPtr& seg, std::function<void()> next) {
   next();
 }
 
-void Path::walk(SegmentPtr seg, std::function<void(SegmentPtr)> deliver) const {
-  auto hops = std::make_shared<const std::vector<std::shared_ptr<Hop>>>(hops_);
-  step(std::move(hops), 0, std::move(seg),
-       std::make_shared<std::function<void(SegmentPtr)>>(std::move(deliver)));
+void Path::walk(SegmentPtr seg, DeliverFn deliver) const {
+  step(hops_, 0, std::move(seg), std::move(deliver));
 }
 
-void Path::step(std::shared_ptr<const std::vector<std::shared_ptr<Hop>>> hops,
-                std::size_t index, SegmentPtr seg,
-                std::shared_ptr<std::function<void(SegmentPtr)>> deliver) {
+void Path::step(std::shared_ptr<const HopList> hops, std::size_t index,
+                SegmentPtr seg, DeliverFn deliver) {
   if (index >= hops->size()) {
-    if (*deliver) (*deliver)(std::move(seg));
+    if (deliver) deliver(std::move(seg));
     return;
   }
   Hop& hop = *(*hops)[index];
-  hop.transit(seg, [hops = std::move(hops), index, seg, deliver = std::move(deliver)]() mutable {
+  // The continuation captures exactly 64 bytes — the DoneFn inline budget.
+  hop.transit(seg, [hops = std::move(hops), index, seg,
+                    deliver = std::move(deliver)]() mutable {
     step(std::move(hops), index + 1, std::move(seg), std::move(deliver));
   });
 }

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/rng.h"
 #include "fabric/host.h"
 #include "fabric/packet.h"
@@ -18,12 +19,17 @@
 
 namespace freeflow::tcp {
 
+/// Delivery continuation at the far end of a path walk. Deliberately tiny
+/// (16-byte capture): walk callers bind a reference or a boxed pointer, so
+/// each per-segment walk stays allocation-free.
+using DeliverFn = common::InlineFunction<void(SegmentPtr), 16>;
+
 class Hop {
  public:
   virtual ~Hop() = default;
   /// Processes `seg`; invokes `next` when the segment moves on. A hop that
   /// drops the segment simply never calls `next`.
-  virtual void transit(const SegmentPtr& seg, std::function<void()> next) = 0;
+  virtual void transit(const SegmentPtr& seg, sim::DoneFn next) = 0;
 };
 
 /// Charges CPU work on a host before forwarding. The work runs on a
@@ -44,7 +50,7 @@ class CpuHop final : public Hop {
         account_(account),
         bus_factor_(bus_bytes_per_payload_byte) {}
 
-  void transit(const SegmentPtr& seg, std::function<void()> next) override;
+  void transit(const SegmentPtr& seg, sim::DoneFn next) override;
 
  private:
   fabric::Host& host_;
@@ -60,7 +66,7 @@ class WireHop final : public Hop {
  public:
   WireHop(fabric::Host& src, fabric::HostId dst) : src_(src), dst_(dst) {}
 
-  void transit(const SegmentPtr& seg, std::function<void()> next) override;
+  void transit(const SegmentPtr& seg, sim::DoneFn next) override;
 
   /// Installs the tcp_frame receive handler on a host's NIC. Must be called
   /// once per host that terminates wire hops.
@@ -76,7 +82,7 @@ class DelayHop final : public Hop {
  public:
   DelayHop(sim::EventLoop& loop, SimDuration delay) : loop_(loop), delay_(delay) {}
 
-  void transit(const SegmentPtr& seg, std::function<void()> next) override;
+  void transit(const SegmentPtr& seg, sim::DoneFn next) override;
 
  private:
   sim::EventLoop& loop_;
@@ -88,7 +94,7 @@ class LossHop final : public Hop {
  public:
   LossHop(Rng& rng, double drop_probability) : rng_(rng), p_(drop_probability) {}
 
-  void transit(const SegmentPtr& seg, std::function<void()> next) override;
+  void transit(const SegmentPtr& seg, sim::DoneFn next) override;
 
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
@@ -100,23 +106,26 @@ class LossHop final : public Hop {
 
 class Path {
  public:
-  Path() = default;
-  explicit Path(std::vector<std::shared_ptr<Hop>> hops) : hops_(std::move(hops)) {}
+  using HopList = std::vector<std::shared_ptr<Hop>>;
 
-  void add(std::shared_ptr<Hop> hop) { hops_.push_back(std::move(hop)); }
+  Path() : hops_(std::make_shared<HopList>()) {}
+  explicit Path(HopList hops) : hops_(std::make_shared<HopList>(std::move(hops))) {}
+
+  void add(std::shared_ptr<Hop> hop) { hops_->push_back(std::move(hop)); }
 
   /// Sends `seg` through every hop; `deliver` fires at the far end (never,
-  /// if a hop drops the segment).
-  void walk(SegmentPtr seg, std::function<void(SegmentPtr)> deliver) const;
+  /// if a hop drops the segment). Allocation-free per walk: the hop list is
+  /// shared (not snapshotted — paths are assembled before traffic starts)
+  /// and the continuation state travels inline through each hop.
+  void walk(SegmentPtr seg, DeliverFn deliver) const;
 
-  [[nodiscard]] std::size_t hop_count() const noexcept { return hops_.size(); }
+  [[nodiscard]] std::size_t hop_count() const noexcept { return hops_->size(); }
 
  private:
-  static void step(std::shared_ptr<const std::vector<std::shared_ptr<Hop>>> hops,
-                   std::size_t index, SegmentPtr seg,
-                   std::shared_ptr<std::function<void(SegmentPtr)>> deliver);
+  static void step(std::shared_ptr<const HopList> hops, std::size_t index,
+                   SegmentPtr seg, DeliverFn deliver);
 
-  std::vector<std::shared_ptr<Hop>> hops_;
+  std::shared_ptr<HopList> hops_;
 };
 
 /// Paths from one endpoint toward its peer: full-cost data path and a

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "common/bytes.h"
+#include "common/slab_pool.h"
 #include "fabric/packet.h"
 #include "tcpstack/ip.h"
 
@@ -41,5 +42,12 @@ struct Segment {
 };
 
 using SegmentPtr = std::shared_ptr<Segment>;
+
+/// Acquires a fresh Segment from the process-wide slab pool (shell + control
+/// block recycled; the payload Buffer still owns its bytes normally).
+inline SegmentPtr acquire_segment() {
+  static common::SlabPool<Segment> pool;
+  return pool.make();
+}
 
 }  // namespace freeflow::tcp

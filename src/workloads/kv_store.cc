@@ -31,7 +31,9 @@ Status RecordStream::send_record(ByteSpan record) {
   Buffer framed(4 + record.size());
   const auto len = static_cast<std::uint32_t>(record.size());
   std::memcpy(framed.data(), &len, 4);
-  std::memcpy(framed.data() + 4, record.data(), record.size());
+  if (!record.empty()) {  // empty spans may carry a null data()
+    std::memcpy(framed.data() + 4, record.data(), record.size());
+  }
   return stream_->send(std::move(framed));
 }
 
@@ -148,7 +150,9 @@ void KvClient::put(std::string key, Buffer value, PutFn cb) {
   std::memcpy(req.data() + 13, &klen, 2);
   std::memcpy(req.data() + 15, &vlen, 4);
   std::memcpy(req.data() + 19, key.data(), key.size());
-  std::memcpy(req.data() + 19 + key.size(), value.data(), value.size());
+  if (!value.empty()) {  // empty spans may carry a null data()
+    std::memcpy(req.data() + 19 + key.size(), value.data(), value.size());
+  }
   (void)stream_->send(std::move(req));
 }
 

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <utility>
 
 #include "common/bytes.h"
 #include "common/histogram.h"
+#include "common/inline_function.h"
 #include "common/rng.h"
+#include "common/slab_pool.h"
 #include "common/status.h"
 #include "common/units.h"
 
@@ -247,6 +251,96 @@ TEST(Units, Literals) {
   EXPECT_EQ(64_KiB, 65536u);
   EXPECT_EQ(1_MiB, 1048576u);
   EXPECT_EQ(2_GiB, 2147483648u);
+}
+
+// --------------------------------------------------------- InlineFunction
+
+TEST(InlineFunction, DefaultIsEmpty) {
+  common::InlineFunction<void(), 32> f;
+  EXPECT_FALSE(f);
+  f = []() {};
+  EXPECT_TRUE(f);
+  f.reset();
+  EXPECT_FALSE(f);
+}
+
+TEST(InlineFunction, InvokesWithArgsAndResult) {
+  common::InlineFunction<int(int, int), 16> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFunction, CaptureUpToCapacityFitsInline) {
+  // Exactly-at-capacity captures must compile and work: the storage is
+  // 8-byte aligned (not max_align_t), so a 32-byte capture fits Capacity 32.
+  std::uint64_t a = 1, b = 2, c = 3, d = 4;
+  common::InlineFunction<std::uint64_t(), 32> f = [a, b, c, d]() { return a + b + c + d; };
+  static_assert(sizeof(f) == 32 + sizeof(void*));
+  EXPECT_EQ(f(), 10u);
+}
+
+TEST(InlineFunction, MoveTransfersStateAndEmptiesSource) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> alive = token;
+  common::InlineFunction<int(), 32> f = [token = std::move(token)]() { return *token; };
+  common::InlineFunction<int(), 32> g = std::move(f);
+  EXPECT_FALSE(f);  // NOLINT(bugprone-use-after-move): post-move state is specified
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g(), 7);
+  EXPECT_FALSE(alive.expired());
+  g.reset();
+  EXPECT_TRUE(alive.expired());  // capture destroyed exactly once
+}
+
+TEST(InlineFunction, MoveAssignDestroysPreviousTarget) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = token;
+  common::InlineFunction<void(), 32> f = [token = std::move(token)]() {};
+  f = []() {};
+  EXPECT_TRUE(alive.expired());
+  EXPECT_TRUE(f);
+}
+
+TEST(InlineFunction, DestructorReleasesCapture) {
+  std::weak_ptr<int> alive;
+  {
+    auto token = std::make_shared<int>(9);
+    alive = token;
+    common::InlineFunction<void(), 32> f = [token = std::move(token)]() {};
+    EXPECT_FALSE(alive.expired());
+  }
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(InlineFunction, MutableLambdaKeepsStateAcrossCalls) {
+  common::InlineFunction<int(), 16> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  EXPECT_EQ(counter(), 3);
+}
+
+// ---------------------------------------------------------------- SlabPool
+
+TEST(SlabPool, RecyclesBlocksAcrossAcquisitions) {
+  common::SlabPool<std::uint64_t> pool;
+  auto p1 = pool.make(42u);
+  EXPECT_EQ(*p1, 42u);
+  const void* first = p1.get();
+  p1.reset();  // returns the block to the freelist
+  EXPECT_GE(pool.free_blocks(), 1u);
+  auto p2 = pool.make(7u);
+  EXPECT_EQ(p2.get(), first);  // same object+control block, recycled
+  EXPECT_EQ(*p2, 7u);
+}
+
+TEST(SlabPool, SteadyStateChurnsWithoutGrowth) {
+  common::SlabPool<int> pool;
+  { auto warm = pool.make(0); }
+  const std::size_t cap = pool.capacity();
+  for (int i = 0; i < 10'000; ++i) {
+    auto p = pool.make(i);
+    EXPECT_EQ(*p, i);
+  }
+  EXPECT_EQ(pool.capacity(), cap);  // no new chunks carved
 }
 
 }  // namespace

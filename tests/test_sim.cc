@@ -45,7 +45,7 @@ TEST(EventLoop, NestedSchedulingAdvancesTime) {
 TEST(EventLoop, CancelPreventsExecution) {
   EventLoop loop;
   bool fired = false;
-  EventHandle h = loop.schedule(10, [&]() { fired = true; });
+  EventHandle h = loop.schedule_cancellable(10, [&]() { fired = true; });
   EXPECT_TRUE(h.pending());
   h.cancel();
   EXPECT_FALSE(h.pending());
@@ -55,10 +55,100 @@ TEST(EventLoop, CancelPreventsExecution) {
 
 TEST(EventLoop, CancelAfterFireIsHarmless) {
   EventLoop loop;
-  EventHandle h = loop.schedule(1, []() {});
+  EventHandle h = loop.schedule_cancellable(1, []() {});
   loop.run();
   EXPECT_FALSE(h.pending());
   h.cancel();  // no crash
+}
+
+TEST(EventLoop, QueueSizeCountsLiveEventsOnly) {
+  EventLoop loop;
+  EventHandle near = loop.schedule_cancellable(10, []() {});
+  EventHandle far = loop.schedule_cancellable(1'000'000, []() {});  // heap
+  loop.schedule(20, []() {});
+  EXPECT_EQ(loop.queue_size(), 3u);
+  near.cancel();  // reclaimed eagerly, not tombstoned
+  EXPECT_EQ(loop.queue_size(), 2u);
+  far.cancel();
+  EXPECT_EQ(loop.queue_size(), 1u);
+  loop.run();
+  EXPECT_EQ(loop.queue_size(), 0u);
+  EXPECT_EQ(loop.events_executed(), 1u);
+}
+
+TEST(EventLoop, FifoAmongEqualsAcrossWheelHeapBoundary) {
+  // The first event lands beyond the near wheel's horizon (overflow heap);
+  // the second, scheduled for the same timestamp once the loop has advanced,
+  // lands in the wheel. Insertion order must still win the tie.
+  EventLoop loop;
+  constexpr SimTime target = 100'000;  // beyond the wheel horizon from t=0
+  std::vector<int> order;
+  loop.schedule_at(target, [&]() { order.push_back(0); });  // heap
+  loop.schedule_at(target - 100, [&]() {
+    loop.schedule_at(target, [&]() { order.push_back(1); });  // wheel
+  });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(loop.now(), target);
+}
+
+TEST(EventLoop, DeterministicAcrossIdenticalRuns) {
+  // Two identical schedules must execute bit-for-bit identically: same
+  // event order, same timestamps, same final clock — regardless of which
+  // events route through the near wheel vs the overflow heap.
+  auto drive = [](std::vector<std::pair<SimTime, int>>& trace) {
+    EventLoop loop;
+    // A mix of near (wheel), far (heap), equal-time, and nested schedules.
+    for (int i = 0; i < 50; ++i) {
+      const SimTime at = (i % 2 == 0) ? 1000 + i : 500'000 + (i % 7) * 1000;
+      loop.schedule_at(at, [&trace, &loop, i]() {
+        trace.emplace_back(loop.now(), i);
+        if (i % 5 == 0) {
+          loop.schedule(40'000, [&trace, &loop, i]() {
+            trace.emplace_back(loop.now(), 1000 + i);
+          });
+        }
+      });
+    }
+    loop.run();
+    return loop.now();
+  };
+  std::vector<std::pair<SimTime, int>> t1, t2;
+  const SimTime end1 = drive(t1);
+  const SimTime end2 = drive(t2);
+  EXPECT_EQ(end1, end2);
+  EXPECT_EQ(t1, t2);
+  EXPECT_FALSE(t1.empty());
+}
+
+TEST(EventLoop, CancellationUnderLoad) {
+  // Many pending cancellable events in both the wheel and the heap; cancel
+  // every other one (including from inside a running callback) and verify
+  // exactly the survivors fire, in timestamp order.
+  EventLoop loop;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+  for (int i = 0; i < 200; ++i) {
+    const SimTime at = (i % 2 == 0) ? 100 + i : 200'000 + i;
+    handles.push_back(loop.schedule_cancellable(at, [&fired, i]() { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 200; i += 4) handles[static_cast<std::size_t>(i)].cancel();
+  // Cancel a batch mid-run too: the first surviving event kills 50..99.
+  loop.schedule(1, [&handles]() {
+    for (int i = 50; i < 100; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  });
+  loop.run();
+  std::vector<int> expect;
+  for (int i = 0; i < 200; i += 2) {  // wheel half (even i), time order
+    if (i % 4 == 0 || (i >= 50 && i < 100)) continue;
+    expect.push_back(i);
+  }
+  for (int i = 1; i < 200; i += 2) {  // heap half (odd i)
+    if (i >= 50 && i < 100) continue;
+    expect.push_back(i);
+  }
+  EXPECT_EQ(fired, expect);
+  EXPECT_EQ(loop.queue_size(), 0u);
 }
 
 TEST(EventLoop, RunUntilStopsAtDeadline) {

@@ -362,8 +362,10 @@ class LossyBuilder final : public PathBuilder {
 
     struct PathHop final : Hop {
       explicit PathHop(Path inner) : inner_(std::move(inner)) {}
-      void transit(const SegmentPtr& seg, std::function<void()> next) override {
-        inner_.walk(seg, [next = std::move(next)](SegmentPtr) { next(); });
+      void transit(const SegmentPtr& seg, sim::DoneFn next) override {
+        // DoneFn is wider than DeliverFn's inline budget; box it (test-only path).
+        auto boxed = std::make_shared<sim::DoneFn>(std::move(next));
+        inner_.walk(seg, [boxed](SegmentPtr) { (*boxed)(); });
       }
       Path inner_;
     };
