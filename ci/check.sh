@@ -1,24 +1,50 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build + tests in the normal config, then again under
-# ASan+UBSan (-DFREEFLOW_SANITIZE=ON). Run from the repo root:
+# Staged tier-1 gate. Run from the repo root:
 #   ci/check.sh [jobs]
+#
+# Stages:
+#   1 build          normal config, warnings-as-errors
+#   2 test           ctest, normal config
+#   3 build-asan     ASan+UBSan config, warnings-as-errors
+#   4 test-asan      ctest under ASan+UBSan with LeakSanitizer ENABLED
+#   5 bench-smoke    bench_sim_core --json (proves the perf harness runs)
+#   6 perf-gate      ci/perf_gate.py vs the committed baseline
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs="${1:-$(nproc)}"
 
-echo "== normal config (build/)"
-cmake -B build -S . >/dev/null
+stage_t0=0
+stage() {
+  local now
+  now=$(date +%s)
+  if [[ "$stage_t0" -ne 0 ]]; then
+    echo "   (stage took $((now - stage_t0))s)"
+  fi
+  stage_t0=$now
+  echo "== $1"
+}
+
+stage "build (normal config, -Werror)"
+cmake -B build -S . -DFREEFLOW_WERROR=ON >/dev/null
 cmake --build build -j "$jobs"
+
+stage "test (normal config)"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
-echo "== sanitized config (build-asan/)"
-cmake -B build-asan -S . -DFREEFLOW_SANITIZE=ON >/dev/null
+stage "build-asan (ASan+UBSan, -Werror)"
+cmake -B build-asan -S . -DFREEFLOW_SANITIZE=ON -DFREEFLOW_WERROR=ON >/dev/null
 cmake --build build-asan -j "$jobs"
-# detect_leaks=0: several tests leak object graphs at exit via known
-# Conduit<->Channel shared_ptr cycles (see ROADMAP open items). ASan's
-# memory-error and UBSan's undefined-behavior checks stay fully enabled.
-ASAN_OPTIONS=detect_leaks=0 \
-  ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "== all checks passed"
+stage "test-asan (LeakSanitizer enabled)"
+# No detect_leaks=0 and no suppression file: the explicit teardown protocol
+# keeps steady-state ownership a DAG, so every test must exit leak-clean.
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+stage "bench-smoke (bench_sim_core --json)"
+./build/bench/bench_sim_core --json build/BENCH_sim_core.json
+
+stage "perf-gate (vs bench/baselines)"
+python3 ci/perf_gate.py build/BENCH_sim_core.json bench/baselines/BENCH_sim_core.json
+
+stage "all checks passed"

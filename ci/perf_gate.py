@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Perf gate for bench_sim_core (stdlib only).
+
+Usage: perf_gate.py FRESH_JSON BASELINE_JSON
+
+The CI box is a noisy 1-core machine, so run-to-run deltas are not a
+reliable signal. The gate therefore checks, in order of severity:
+
+  1. HARD  fresh ``speedup`` >= FLOOR (2.0x): the new event loop must beat
+     the embedded seed replica measured in the *same* run — self-relative,
+     so box noise cancels out. This is the acceptance floor from PR 1.
+  2. HARD  fresh ``sim_events_per_sec`` >= TOLERANCE (40%) of the committed
+     baseline: generous enough that scheduler noise never trips it, tight
+     enough that a real hot-path regression (lost inlining, reintroduced
+     per-event allocation) cannot hide.
+  3. INFO  everything else (allocs/event, raw deltas) is printed, not gated.
+"""
+
+import json
+import sys
+
+FLOOR_SPEEDUP = 2.0
+BASELINE_TOLERANCE = 0.40
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "sim_core":
+        raise SystemExit(f"{path}: expected bench 'sim_core', got {doc.get('bench')!r}")
+    return doc["metrics"]
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    fresh = load_metrics(argv[1])
+    base = load_metrics(argv[2])
+
+    failures = []
+
+    speedup = fresh.get("speedup", 0.0)
+    print(f"perf-gate: fresh speedup vs seed loop: {speedup:.2f}x (floor {FLOOR_SPEEDUP}x)")
+    if speedup < FLOOR_SPEEDUP:
+        failures.append(
+            f"speedup {speedup:.2f}x is below the {FLOOR_SPEEDUP}x floor vs seed"
+        )
+
+    fresh_eps = fresh.get("sim_events_per_sec", 0.0)
+    base_eps = base.get("sim_events_per_sec", 0.0)
+    if base_eps > 0:
+        ratio = fresh_eps / base_eps
+        print(
+            f"perf-gate: sim events/s {fresh_eps:.3g} vs baseline {base_eps:.3g}"
+            f" ({ratio:.0%}; hard floor {BASELINE_TOLERANCE:.0%})"
+        )
+        if ratio < BASELINE_TOLERANCE:
+            failures.append(
+                f"sim_events_per_sec at {ratio:.0%} of baseline "
+                f"(< {BASELINE_TOLERANCE:.0%}) — not explainable by box noise"
+            )
+    else:
+        failures.append("baseline has no sim_events_per_sec metric")
+
+    for key in ("sim_allocs_per_event", "seed_events_per_sec", "events_measured"):
+        if key in fresh:
+            b = f" (baseline {base[key]:.6g})" if key in base else ""
+            print(f"perf-gate: info {key} = {fresh[key]:.6g}{b}")
+
+    if failures:
+        for f in failures:
+            print(f"perf-gate: FAIL: {f}", file=sys.stderr)
+        return 1
+    print("perf-gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

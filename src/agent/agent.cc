@@ -193,6 +193,7 @@ void Agent::establish_remote(orch::ContainerId src, orch::ContainerId dst,
                       auto ep = std::make_shared<RemoteChannelEndpoint>(
                           *this, src, dst, dst_host, id, transport, to_agent,
                           from_agent);
+                      wire_outbound(ep);
                       endpoints_.emplace(id, ep);
                       done(ChannelPtr(ep));
                     });
@@ -217,6 +218,7 @@ void Agent::accept_channel(orch::ContainerId src, orch::ContainerId dst,
   auto ep = std::make_shared<RemoteChannelEndpoint>(*this, dst, src, src_host,
                                                     channel_id, transport, to_agent,
                                                     from_agent);
+  wire_outbound(ep);
   endpoints_.emplace(channel_id, ep);
   it->second(src, ep);
   reply(ok_status());
@@ -385,11 +387,40 @@ void Agent::setup_tcp_trunk(fabric::HostId peer,
 
 // -------------------------------------------------------------------- relay
 
-void Agent::relay_outbound(RemoteChannelEndpoint& endpoint, Buffer&& message) {
-  const TrunkKey key{endpoint.peer_host(), endpoint.transport()};
+void Agent::wire_outbound(const std::shared_ptr<RemoteChannelEndpoint>& ep) {
+  // Captures routing fields by value plus the agent itself — never the
+  // endpoint or the lane — so records queued in the lane (the closing bye
+  // included) still relay after the endpoint is destroyed. The agent
+  // co-owns the lane (outbound_lanes_) to keep those queued records alive;
+  // the hook hands back that ownership after the final record drains.
+  const std::uint64_t id = ep->channel_id();
+  outbound_lanes_[id] = ep->outbound_lane();
+  ep->outbound_lane()->set_receiver(
+      [this, src = ep->self(), dst = ep->peer(), peer_host = ep->peer_host(),
+       id, transport = ep->transport()](Buffer&& msg) {
+        relay_outbound(src, dst, peer_host, id, transport, std::move(msg));
+        drop_drained_lane(id);
+      });
+}
+
+void Agent::drop_drained_lane(std::uint64_t channel_id) {
+  // Keep the lane while its endpoint is still registered, or while queued
+  // records remain. Erasing from inside the lane's own delivery is safe:
+  // the rx job pins the lane for the remainder of the running callback.
+  if (endpoints_.contains(channel_id)) return;
+  auto it = outbound_lanes_.find(channel_id);
+  if (it != outbound_lanes_.end() && it->second->ring().empty()) {
+    outbound_lanes_.erase(it);
+  }
+}
+
+void Agent::relay_outbound(orch::ContainerId src, orch::ContainerId dst,
+                           fabric::HostId peer_host, std::uint64_t channel_id,
+                           orch::Transport transport, Buffer&& message) {
+  const TrunkKey key{peer_host, transport};
   auto it = trunks_.find(key);
   if (it == trunks_.end()) {
-    FF_LOG(warn, "agent") << "no trunk for channel " << endpoint.channel_id()
+    FF_LOG(warn, "agent") << "no trunk for channel " << channel_id
                           << "; message dropped (peer migrated?)";
     return;
   }
@@ -401,9 +432,9 @@ void Agent::relay_outbound(RemoteChannelEndpoint& endpoint, Buffer&& message) {
   do {
     const std::size_t n = std::min(frag, message.size() - offset);
     RelayHeader header;
-    header.src_container = endpoint.self();
-    header.dst_container = endpoint.peer();
-    header.channel = endpoint.channel_id();
+    header.src_container = src;
+    header.dst_container = dst;
+    header.channel = channel_id;
     header.msg_seq = seq;
     header.total_len = total;
     header.frag_offset = static_cast<std::uint32_t>(offset);
@@ -420,9 +451,36 @@ bool Agent::trunk_writable(fabric::HostId peer, orch::Transport transport) const
 }
 
 void Agent::notify_space() {
-  for (auto& [id, ep] : endpoints_) {
+  // Snapshot the live endpoints first: a poke may close a channel, which
+  // re-enters release_channel and mutates the map mid-iteration otherwise.
+  std::vector<std::shared_ptr<RemoteChannelEndpoint>> live;
+  live.reserve(endpoints_.size());
+  for (auto it = endpoints_.begin(); it != endpoints_.end();) {
+    if (auto ep = it->second.lock()) {
+      live.push_back(std::move(ep));
+      ++it;
+    } else {
+      it = endpoints_.erase(it);
+    }
+  }
+  for (auto& ep : live) {
     if (!ep->closed()) ep->poke_space();
   }
+}
+
+void Agent::release_channel(std::uint64_t channel_id) {
+  endpoints_.erase(channel_id);
+  for (auto it = rx_.begin(); it != rx_.end();) {
+    it = it->first.first == channel_id ? rx_.erase(it) : std::next(it);
+  }
+  drop_drained_lane(channel_id);
+}
+
+std::size_t Agent::endpoint_count() {
+  for (auto it = endpoints_.begin(); it != endpoints_.end();) {
+    it = it->second.expired() ? endpoints_.erase(it) : std::next(it);
+  }
+  return endpoints_.size();
 }
 
 void Agent::dispatch_record(Buffer&& record) {
@@ -436,14 +494,16 @@ void Agent::dispatch_record(Buffer&& record) {
                          << " off=" << h.frag_offset << " frag=" << parsed->fragment.size()
                          << " total=" << h.total_len;
   auto it = endpoints_.find(h.channel);
-  if (it == endpoints_.end()) {
+  std::shared_ptr<RemoteChannelEndpoint> endpoint;
+  if (it != endpoints_.end()) endpoint = it->second.lock();
+  if (endpoint == nullptr) {
+    if (it != endpoints_.end()) endpoints_.erase(it);
     FF_LOG(debug, "agent") << "record for unknown channel " << h.channel << " dropped";
     return;
   }
-  auto& endpoint = *it->second;
 
   if (h.frag_offset == 0 && parsed->fragment.size() == h.total_len) {
-    endpoint.deliver_inbound(Buffer(parsed->fragment.data(), parsed->fragment.size()));
+    endpoint->deliver_inbound(Buffer(parsed->fragment.data(), parsed->fragment.size()));
     return;
   }
   auto& slot = rx_[{h.channel, h.msg_seq}];
@@ -456,7 +516,7 @@ void Agent::dispatch_record(Buffer&& record) {
   if (slot.received >= h.total_len) {
     Buffer whole = std::move(slot.data);
     rx_.erase({h.channel, h.msg_seq});
-    endpoint.deliver_inbound(std::move(whole));
+    endpoint->deliver_inbound(std::move(whole));
   }
 }
 

@@ -49,12 +49,23 @@ class Agent {
   [[nodiscard]] sim::UsageAccount& account() noexcept { return account_; }
   [[nodiscard]] AgentFabric& fabric() noexcept { return fabric_; }
 
-  /// Endpoint-internal: fragments `message` into relay records and pushes
-  /// them down the channel's trunk.
-  void relay_outbound(RemoteChannelEndpoint& endpoint, Buffer&& message);
+  /// Lane-relay-internal: fragments `message` into relay records and pushes
+  /// them down the trunk toward `peer_host`. Routing fields are passed by
+  /// value so the relay outlives the endpoint it was wired for.
+  void relay_outbound(orch::ContainerId src, orch::ContainerId dst,
+                      fabric::HostId peer_host, std::uint64_t channel_id,
+                      orch::Transport transport, Buffer&& message);
 
   /// Trunk-internal: a record arrived from a peer agent.
   void dispatch_record(Buffer&& record);
+
+  /// Channel-teardown: forgets the endpoint and its reassembly state. The
+  /// registry only ever holds weak references — the conduit owns the
+  /// endpoint — so this is bookkeeping, not destruction.
+  void release_channel(std::uint64_t channel_id);
+
+  /// Live channel count (weak entries pruned); teardown-test introspection.
+  [[nodiscard]] std::size_t endpoint_count();
 
   /// True when the trunk toward `peer` can absorb more records (the
   /// channel-level writable() signal ANDs this in).
@@ -102,6 +113,8 @@ class Agent {
   std::shared_ptr<shm::ShmLane> make_lane(sim::UsageAccount* sender,
                                           sim::UsageAccount* receiver);
   sim::UsageAccount* container_account(orch::ContainerId id);
+  /// Hangs the outbound relay on the endpoint's container->agent lane.
+  void wire_outbound(const std::shared_ptr<RemoteChannelEndpoint>& ep);
 
   AgentFabric& fabric_;
   fabric::Host& host_;
@@ -110,7 +123,20 @@ class Agent {
   std::unordered_map<orch::ContainerId, IncomingFn> containers_;
   std::map<TrunkKey, std::shared_ptr<Trunk>> trunks_;
   std::map<TrunkKey, std::vector<std::function<void(Result<Trunk*>)>>> trunk_waiters_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<RemoteChannelEndpoint>> endpoints_;
+  /// Weak: the conduit (via its ChannelPtr) owns the endpoint; this map is
+  /// only the inbound-record routing table, so agent registration can never
+  /// keep a closed channel alive (ownership stays a DAG).
+  std::unordered_map<std::uint64_t, std::weak_ptr<RemoteChannelEndpoint>> endpoints_;
+
+  /// Strong co-ownership of each channel's container->agent lane. The relay
+  /// hook lives on this lane, and records already queued when the conduit
+  /// destroys its endpoint — the closing bye among them — must still drain
+  /// to the trunk. Dropped once the channel is released AND the ring is
+  /// empty (release_channel, or the relay hook after the last record).
+  std::unordered_map<std::uint64_t, std::shared_ptr<shm::ShmLane>> outbound_lanes_;
+
+  /// Erases the channel's outbound lane if it is released and drained.
+  void drop_drained_lane(std::uint64_t channel_id);
 
   /// Reassembly of fragmented inbound messages: (channel, msg_seq) -> state.
   struct Reassembly {

@@ -29,12 +29,20 @@ void LaneSender::drain() {
   if (user_on_space_) user_on_space_();
 }
 
+void LaneSender::detach() noexcept {
+  lane_->set_on_space(nullptr);
+  user_on_space_ = nullptr;
+  overflow_.clear();
+}
+
 // ------------------------------------------------------- ShmChannelEndpoint
 
 ShmChannelEndpoint::ShmChannelEndpoint(orch::ContainerId peer,
                                        std::shared_ptr<shm::ShmLane> tx,
                                        std::shared_ptr<shm::ShmLane> rx)
     : peer_(peer), tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+ShmChannelEndpoint::~ShmChannelEndpoint() { close(); }
 
 Status ShmChannelEndpoint::send(Buffer message) {
   if (closed_) return failed_precondition("channel closed");
@@ -46,6 +54,17 @@ void ShmChannelEndpoint::set_on_message(DeliverFn cb) {
   rx_->set_receiver([this, cb = std::move(cb)](Buffer&& msg) {
     if (!closed_ && cb) cb(std::move(msg));
   });
+}
+
+void ShmChannelEndpoint::close() noexcept {
+  if (closed_) return;
+  closed_ = true;
+  // Unhook our slots on the shared lanes: the receive hook (so in-flight
+  // traffic is dropped, not delivered to a dead handler) and the tx space
+  // re-arm. Messages already in the tx ring still drain to the peer — its
+  // receive hook lives on the other lane end.
+  rx_->set_receiver(nullptr);
+  tx_.detach();
 }
 
 // ---------------------------------------------------- RemoteChannelEndpoint
@@ -67,11 +86,12 @@ RemoteChannelEndpoint::RemoteChannelEndpoint(Agent& local_agent, orch::Container
       to_agent_(to_agent),
       from_agent_(from_agent),
       inbound_(from_agent) {
-  // Container -> agent lane terminates at the agent's relay.
-  to_agent_->set_receiver([this](Buffer&& msg) {
-    if (!closed_) agent_.relay_outbound(*this, std::move(msg));
-  });
+  // The container->agent relay hook is installed by the Agent (see
+  // Agent::wire_outbound): it captures routing fields by value, not this
+  // endpoint, so the lane keeps draining after the endpoint is torn down.
 }
+
+RemoteChannelEndpoint::~RemoteChannelEndpoint() { close(); }
 
 bool RemoteChannelEndpoint::writable() const noexcept {
   return tx_.writable() && agent_.trunk_writable(peer_host_, transport_);
@@ -92,6 +112,19 @@ void RemoteChannelEndpoint::set_on_message(DeliverFn cb) {
 void RemoteChannelEndpoint::deliver_inbound(Buffer&& message) {
   if (closed_) return;
   inbound_.send(std::move(message));
+}
+
+void RemoteChannelEndpoint::close() noexcept {
+  if (closed_) return;
+  closed_ = true;
+  // Unhook the container-facing receive hook and both sender re-arms; the
+  // agent-owned outbound relay on to_agent_ stays so queued records (the
+  // closing bye among them) still reach the trunk. Deregistering with the
+  // agent stops inbound records from resolving to this channel id.
+  from_agent_->set_receiver(nullptr);
+  tx_.detach();
+  inbound_.detach();
+  agent_.release_channel(channel_id_);
 }
 
 }  // namespace freeflow::agent

@@ -52,6 +52,10 @@ using ChannelPtr = std::shared_ptr<Channel>;
 class LaneSender {
  public:
   explicit LaneSender(std::shared_ptr<shm::ShmLane> lane);
+  ~LaneSender() { detach(); }
+
+  LaneSender(const LaneSender&) = delete;
+  LaneSender& operator=(const LaneSender&) = delete;
 
   /// Queues or sends; drains automatically as the ring frees.
   void send(Buffer message);
@@ -61,6 +65,9 @@ class LaneSender {
   void poke() {
     if (user_on_space_) user_on_space_();
   }
+  /// Teardown: unhooks this sender from the (shared, possibly longer-lived)
+  /// lane and drops queued overflow and the user callback.
+  void detach() noexcept;
   [[nodiscard]] shm::ShmLane& lane() noexcept { return *lane_; }
 
  private:
@@ -78,6 +85,7 @@ class ShmChannelEndpoint final : public Channel {
  public:
   ShmChannelEndpoint(orch::ContainerId peer, std::shared_ptr<shm::ShmLane> tx,
                      std::shared_ptr<shm::ShmLane> rx);
+  ~ShmChannelEndpoint() override;
 
   Status send(Buffer message) override;
   [[nodiscard]] bool writable() const noexcept override { return tx_.writable(); }
@@ -87,7 +95,7 @@ class ShmChannelEndpoint final : public Channel {
     return orch::Transport::shm;
   }
   [[nodiscard]] orch::ContainerId peer() const noexcept override { return peer_; }
-  void close() noexcept override { closed_ = true; }
+  void close() noexcept override;
   [[nodiscard]] bool closed() const noexcept override { return closed_; }
 
   /// Ties the backing shm region's lifetime to this endpoint.
@@ -112,6 +120,7 @@ class RemoteChannelEndpoint final
                         std::uint64_t channel_id, orch::Transport transport,
                         std::shared_ptr<shm::ShmLane> to_agent,
                         std::shared_ptr<shm::ShmLane> from_agent);
+  ~RemoteChannelEndpoint() override;
 
   Status send(Buffer message) override;
   /// Writable only while both the container->agent ring has space AND the
@@ -124,12 +133,19 @@ class RemoteChannelEndpoint final
   void poke_space() { tx_.poke(); }
   [[nodiscard]] orch::Transport transport() const noexcept override { return transport_; }
   [[nodiscard]] orch::ContainerId peer() const noexcept override { return peer_; }
-  void close() noexcept override { closed_ = true; }
+  void close() noexcept override;
   [[nodiscard]] bool closed() const noexcept override { return closed_; }
 
   [[nodiscard]] std::uint64_t channel_id() const noexcept { return channel_id_; }
   [[nodiscard]] orch::ContainerId self() const noexcept { return self_; }
   [[nodiscard]] fabric::HostId peer_host() const noexcept { return peer_host_; }
+
+  /// Agent-side: the container->agent lane the agent hangs its relay on.
+  /// The relay wiring is owned by the lane, not this endpoint, so queued
+  /// outbound (e.g. the closing bye) still drains after teardown.
+  [[nodiscard]] const std::shared_ptr<shm::ShmLane>& outbound_lane() const noexcept {
+    return to_agent_;
+  }
 
   /// Agent-side: delivers a fully reassembled inbound message.
   void deliver_inbound(Buffer&& message);

@@ -33,6 +33,10 @@ void Conduit::attach_channel(agent::ChannelPtr channel) {
       FF_LOG(warn, "core") << "conduit got malformed message: " << parsed.status();
       return;
     }
+    if (parsed->header.type == VMsg::bye) {
+      conduit->close_from_peer();
+      return;
+    }
     ++conduit->received_;
     if (conduit->on_message_) {
       // Copy: handlers swap themselves during handshakes (cm_accept installs
@@ -47,18 +51,37 @@ void Conduit::attach_channel(agent::ChannelPtr channel) {
   drain();
 }
 
-void Conduit::close() {
+void Conduit::close() { do_close(/*notify_peer=*/true); }
+
+void Conduit::close_from_peer() { do_close(/*notify_peer=*/false); }
+
+void Conduit::do_close(bool notify_peer) {
   if (closed_) return;
   closed_ = true;
+  queue_.clear();
   if (channel_ != nullptr) {
+    if (notify_peer) {
+      // The bye rides the lane behind any data already queued, so the peer
+      // drains in order and then tears down its side. Not counted in sent_:
+      // it is protocol overhead, not application traffic.
+      WireHeader h;
+      h.type = VMsg::bye;
+      h.token = token_;
+      channel_->send(make_message(h));
+    }
     channel_->close();
     channel_ = nullptr;
   }
-  queue_.clear();
-  if (on_closed_) {
-    auto handler = on_closed_;
-    handler();
-  }
+  // Unhook everything the application registered: callbacks must not keep
+  // peers (or this conduit's captures) alive past close.
+  on_message_ = nullptr;
+  on_space_ = nullptr;
+  auto closed_cb = std::move(on_closed_);
+  on_closed_ = nullptr;
+  if (closed_cb) closed_cb();
+  auto teardown = std::move(on_teardown_);
+  on_teardown_ = nullptr;
+  if (teardown) teardown();
 }
 
 void Conduit::mark_stale() {

@@ -40,11 +40,17 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
   /// Migration: detach; sends queue until a new channel is attached.
   void mark_stale();
 
-  /// Permanent teardown (peer stopped, self stopped): drops the channel,
-  /// discards queued messages and fires on_closed exactly once.
+  /// Permanent teardown (peer stopped, self stopped, app close): tells the
+  /// peer (`bye`), drops the channel, unhooks every callback and fires
+  /// on_closed exactly once. Idempotent.
   void close();
+  /// Teardown initiated by the peer's bye: close() without echoing a bye.
+  void close_from_peer();
   [[nodiscard]] bool closed() const noexcept { return closed_; }
   void set_on_closed(std::function<void()> cb) { on_closed_ = std::move(cb); }
+  /// Owner hook (ContainerNet): fires last during close so the owning map
+  /// can drop its reference — the conduit never points back at its owner.
+  void set_on_teardown(std::function<void()> cb) { on_teardown_ = std::move(cb); }
 
   [[nodiscard]] bool live() const noexcept { return channel_ != nullptr; }
   [[nodiscard]] bool writable() const noexcept {
@@ -67,6 +73,7 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
 
  private:
   void drain();
+  void do_close(bool notify_peer);
 
   std::uint64_t token_;
   orch::ContainerId self_;
@@ -80,6 +87,7 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
   MessageFn on_message_;
   std::function<void()> on_space_;
   std::function<void()> on_closed_;
+  std::function<void()> on_teardown_;
   bool closed_ = false;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;

@@ -8,6 +8,28 @@ namespace freeflow::core {
 ContainerNet::ContainerNet(FreeFlow& ff, orch::ContainerPtr container)
     : ff_(ff), container_(std::move(container)) {}
 
+ContainerNet::~ContainerNet() {
+  close_all_conduits();
+  for (auto& [raw, channel] : pending_incoming_) channel->close();
+  pending_incoming_.clear();
+}
+
+void ContainerNet::adopt_conduit(const ConduitPtr& conduit) {
+  conduits_.emplace(conduit->token(), conduit);
+  auto self = weak_from_this();
+  conduit->set_on_teardown([self, token = conduit->token()]() {
+    if (auto net = self.lock()) net->conduits_.erase(token);
+  });
+}
+
+void ContainerNet::close_all_conduits() {
+  std::vector<ConduitPtr> snapshot;
+  snapshot.reserve(conduits_.size());
+  for (auto& [token, conduit] : conduits_) snapshot.push_back(conduit);
+  for (auto& conduit : snapshot) conduit->close();
+  conduits_.clear();
+}
+
 fabric::Host& ContainerNet::current_host() {
   return ff_.orchestrator().cluster_orch().cluster().host(container_->host());
 }
@@ -107,10 +129,14 @@ void ContainerNet::connect_qp(tcp::Ipv4Addr peer_ip, std::uint16_t port,
   }
   auto conduit = std::make_shared<Conduit>(ff_.next_token(), id(), *peer, peer_ip,
                                            port, /*initiator=*/true);
+  // Owned by conduits_ from the start; the handshake handler below may
+  // capture the conduit freely — close() unhooks it, so no cycle survives.
+  adopt_conduit(conduit);
   open_channel_for(conduit, /*rebinding=*/false,
                    [this, conduit, port, send_cq, recv_cq,
                     done = std::move(done)](Status st) mutable {
     if (!st.is_ok()) {
+      conduit->close();
       done(st);
       return;
     }
@@ -120,9 +146,9 @@ void ContainerNet::connect_qp(tcp::Ipv4Addr peer_ip, std::uint16_t port,
       if (h.type == VMsg::cm_accept) {
         auto qp = std::make_shared<VirtualQp>(*this, conduit, send_cq, recv_cq);
         qp->bind();
-        conduits_.emplace(conduit->token(), conduit);
         done(qp);
       } else {
+        conduit->close();
         done(connection_refused("peer rejected QP on port"));
       }
     });
@@ -143,9 +169,11 @@ void ContainerNet::sock_connect(tcp::Ipv4Addr peer_ip, std::uint16_t port,
   }
   auto conduit = std::make_shared<Conduit>(ff_.next_token(), id(), *peer, peer_ip,
                                            port, /*initiator=*/true);
+  adopt_conduit(conduit);
   open_channel_for(conduit, /*rebinding=*/false,
                    [this, conduit, port, done = std::move(done)](Status st) mutable {
     if (!st.is_ok()) {
+      conduit->close();
       done(st);
       return;
     }
@@ -154,9 +182,9 @@ void ContainerNet::sock_connect(tcp::Ipv4Addr peer_ip, std::uint16_t port,
       if (h.type == VMsg::sock_accept) {
         auto sock = std::make_shared<FlowSocket>(*this, conduit);
         sock->bind();
-        conduits_.emplace(conduit->token(), conduit);
         done(sock);
       } else {
+        conduit->close();
         done(connection_refused("peer rejected socket on port"));
       }
     });
@@ -171,10 +199,13 @@ void ContainerNet::sock_connect(tcp::Ipv4Addr peer_ip, std::uint16_t port,
 // ---------------------------------------------------------- incoming side
 
 void ContainerNet::on_incoming_channel(orch::ContainerId src, agent::ChannelPtr channel) {
-  // Tap the first message to route the channel (setup vs rebind).
+  // Tap the first message to route the channel (setup vs rebind). The tap
+  // captures only a raw key — pending_incoming_ owns the channel, so the
+  // callback never keeps its own channel alive (no self-cycle).
   auto self = weak_from_this();
   auto raw = channel.get();
-  raw->set_on_message([self, src, channel](Buffer&& message) {
+  pending_incoming_.emplace(raw, std::move(channel));
+  raw->set_on_message([self, src, raw](Buffer&& message) {
     auto net = self.lock();
     if (net == nullptr) return;
     auto parsed = parse_message(message.view());
@@ -182,12 +213,16 @@ void ContainerNet::on_incoming_channel(orch::ContainerId src, agent::ChannelPtr 
       FF_LOG(warn, "core") << "bad first message on incoming channel";
       return;
     }
-    net->handle_first_message(src, channel, parsed->header);
+    net->handle_first_message(src, raw, parsed->header);
   });
 }
 
-void ContainerNet::handle_first_message(orch::ContainerId src, agent::ChannelPtr channel,
+void ContainerNet::handle_first_message(orch::ContainerId src, agent::Channel* raw,
                                         const WireHeader& header) {
+  auto pit = pending_incoming_.find(raw);
+  if (pit == pending_incoming_.end()) return;  // already routed or torn down
+  agent::ChannelPtr channel = std::move(pit->second);
+  pending_incoming_.erase(pit);
   switch (header.type) {
     case VMsg::cm_connect: {
       auto lit = qp_listeners_.find(header.port);
@@ -196,6 +231,7 @@ void ContainerNet::handle_first_message(orch::ContainerId src, agent::ChannelPtr
       if (lit == qp_listeners_.end()) {
         reply.type = VMsg::cm_reject;
         channel->send(make_message(reply));
+        channel->close();  // the reply is already in the lane; unhook and drop
         return;
       }
       auto c = ff_.orchestrator().cluster_orch().container(src);
@@ -205,7 +241,7 @@ void ContainerNet::handle_first_message(orch::ContainerId src, agent::ChannelPtr
       conduit->attach_channel(std::move(channel));
       auto qp = std::make_shared<VirtualQp>(*this, conduit, create_cq(), create_cq());
       qp->bind();
-      conduits_.emplace(conduit->token(), conduit);
+      adopt_conduit(conduit);
       reply.type = VMsg::cm_accept;
       conduit->send(reply);
       lit->second(qp);
@@ -218,6 +254,7 @@ void ContainerNet::handle_first_message(orch::ContainerId src, agent::ChannelPtr
       if (lit == sock_listeners_.end()) {
         reply.type = VMsg::sock_reject;
         channel->send(make_message(reply));
+        channel->close();
         return;
       }
       auto c = ff_.orchestrator().cluster_orch().container(src);
@@ -227,7 +264,7 @@ void ContainerNet::handle_first_message(orch::ContainerId src, agent::ChannelPtr
       conduit->attach_channel(std::move(channel));
       auto sock = std::make_shared<FlowSocket>(*this, conduit);
       sock->bind();
-      conduits_.emplace(conduit->token(), conduit);
+      adopt_conduit(conduit);
       reply.type = VMsg::sock_accept;
       conduit->send(reply);
       lit->second(sock);
@@ -237,14 +274,20 @@ void ContainerNet::handle_first_message(orch::ContainerId src, agent::ChannelPtr
       auto it = conduits_.find(header.token);
       if (it == conduits_.end()) {
         FF_LOG(warn, "core") << "rebind for unknown conduit " << header.token;
+        channel->close();
         return;
       }
       it->second->attach_channel(std::move(channel));
       return;
     }
+    case VMsg::bye:
+      // Peer opened a channel and tore it down before it was routed.
+      channel->close();
+      return;
     default:
       FF_LOG(warn, "core") << "unexpected first message type "
                            << static_cast<int>(header.type);
+      channel->close();
   }
 }
 
@@ -252,19 +295,18 @@ void ContainerNet::handle_first_message(orch::ContainerId src, agent::ChannelPtr
 
 void ContainerNet::handle_self_stopped() {
   ff_.agents().agent_on(container_->host()).unregister_container(id());
-  for (auto& [token, conduit] : conduits_) conduit->close();
-  conduits_.clear();
+  close_all_conduits();
+  for (auto& [raw, channel] : pending_incoming_) channel->close();
+  pending_incoming_.clear();
 }
 
 void ContainerNet::handle_peer_stopped(orch::ContainerId peer) {
-  for (auto it = conduits_.begin(); it != conduits_.end();) {
-    if (it->second->peer() == peer) {
-      it->second->close();
-      it = conduits_.erase(it);
-    } else {
-      ++it;
-    }
+  // Snapshot: close() fires the teardown hook, which erases from conduits_.
+  std::vector<ConduitPtr> victims;
+  for (auto& [token, conduit] : conduits_) {
+    if (conduit->peer() == peer) victims.push_back(conduit);
   }
+  for (auto& conduit : victims) conduit->close();
 }
 
 std::vector<ContainerNet::ConnectionInfo> ContainerNet::connections() const {

@@ -30,6 +30,9 @@ class ContainerNet : public std::enable_shared_from_this<ContainerNet> {
   using SockConnectFn = std::function<void(Result<FlowSocketPtr>)>;
 
   ContainerNet(FreeFlow& ff, orch::ContainerPtr container);
+  /// Closes every conduit (and unrouted incoming channel) so no callback
+  /// registered on lanes or the event loop outlives the library instance.
+  ~ContainerNet();
 
   ContainerNet(const ContainerNet&) = delete;
   ContainerNet& operator=(const ContainerNet&) = delete;
@@ -92,13 +95,19 @@ class ContainerNet : public std::enable_shared_from_this<ContainerNet> {
   friend class FlowSocket;
 
   void on_incoming_channel(orch::ContainerId src, agent::ChannelPtr channel);
-  void handle_first_message(orch::ContainerId src, agent::ChannelPtr channel,
+  void handle_first_message(orch::ContainerId src, agent::Channel* channel,
                             const WireHeader& header);
 
   /// Resolves, decides, establishes and attaches a channel to `conduit`;
   /// when `rebinding`, the first message on the new channel is a rebind.
   void open_channel_for(ConduitPtr conduit, bool rebinding,
                         std::function<void(Status)> done);
+
+  /// Takes ownership of `conduit` in conduits_ and installs the teardown
+  /// hook that drops that reference when the conduit closes.
+  void adopt_conduit(const ConduitPtr& conduit);
+  /// Closes every conduit via a snapshot (close re-enters conduits_).
+  void close_all_conduits();
 
   FreeFlow& ff_;
   orch::ContainerPtr container_;
@@ -109,6 +118,9 @@ class ContainerNet : public std::enable_shared_from_this<ContainerNet> {
   std::map<std::uint16_t, QpAcceptFn> qp_listeners_;
   std::map<std::uint16_t, SockAcceptFn> sock_listeners_;
   std::unordered_map<std::uint64_t, ConduitPtr> conduits_;
+  /// Incoming channels awaiting their routing (first) message. Owned here —
+  /// the channel's own callbacks never keep it alive (no self-cycle).
+  std::map<agent::Channel*, agent::ChannelPtr> pending_incoming_;
 };
 
 using ContainerNetPtr = std::shared_ptr<ContainerNet>;

@@ -6,8 +6,11 @@ FreeFlow::FreeFlow(orch::NetworkOrchestrator& orchestrator, agent::AgentConfig c
     : orchestrator_(orchestrator),
       agents_(orchestrator, config),
       selector_(orchestrator, agents_.loop()) {
-  // Route migration notifications to the affected library instances.
-  orchestrator_.subscribe_moves([this](const orch::Container& moved) {
+  // Route migration notifications to the affected library instances. The
+  // orchestrator outlives this object, so guard with the liveness token.
+  std::weak_ptr<bool> alive = alive_;
+  orchestrator_.subscribe_moves([this, alive](const orch::Container& moved) {
+    if (alive.expired()) return;
     for (auto& [cid, net] : nets_) {
       if (cid == moved.id()) {
         net->handle_self_moved();
@@ -17,7 +20,8 @@ FreeFlow::FreeFlow(orch::NetworkOrchestrator& orchestrator, agent::AgentConfig c
     }
   });
   // Container stops tear their connections down everywhere.
-  orchestrator_.cluster_orch().on_stopped([this](const orch::Container& stopped) {
+  orchestrator_.cluster_orch().on_stopped([this, alive](const orch::Container& stopped) {
+    if (alive.expired()) return;
     auto it = nets_.find(stopped.id());
     if (it != nets_.end()) {
       it->second->handle_self_stopped();

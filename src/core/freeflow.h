@@ -41,6 +41,10 @@ class FreeFlow {
   TransportSelector selector_;
   std::unordered_map<orch::ContainerId, ContainerNetPtr> nets_;
   std::uint64_t next_token_ = 1;
+  /// Liveness token for orchestrator subscriptions: the orchestrator can
+  /// outlive this FreeFlow, so its callbacks hold a weak observer instead
+  /// of a raw back-pointer (teardown protocol).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace freeflow::core

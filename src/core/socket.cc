@@ -19,7 +19,13 @@ void FlowSocket::bind() {
     if (sock == nullptr || !sock->open_) return;
     sock->open_ = false;
     if (sock->on_close_) sock->on_close_();
+    sock->release_callbacks();
   });
+}
+
+void FlowSocket::release_callbacks() noexcept {
+  on_data_ = nullptr;
+  on_close_ = nullptr;
 }
 
 void FlowSocket::set_on_space(VoidFn cb) { conduit_->set_on_space(std::move(cb)); }
@@ -44,6 +50,10 @@ void FlowSocket::close() {
   h.type = VMsg::sock_fin;
   conduit_->send(h);
   open_ = false;
+  // The fin is queued ahead of the conduit's bye, so the peer sees an
+  // orderly close before its side of the conduit is torn down.
+  conduit_->close();
+  release_callbacks();
 }
 
 void FlowSocket::handle_message(const WireHeader& h, ByteSpan payload) {
@@ -52,10 +62,14 @@ void FlowSocket::handle_message(const WireHeader& h, ByteSpan payload) {
       bytes_received_ += payload.size();
       if (on_data_) on_data_(Buffer(payload.data(), payload.size()));
       return;
-    case VMsg::sock_fin:
+    case VMsg::sock_fin: {
       open_ = false;
-      if (on_close_) on_close_();
+      // Copy: the handler may reset callbacks or drop this socket.
+      auto handler = on_close_;
+      if (handler) handler();
+      release_callbacks();
       return;
+    }
     default:
       break;  // handshake leftovers are ignored
   }

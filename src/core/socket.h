@@ -48,6 +48,11 @@ class FlowSocket : public std::enable_shared_from_this<FlowSocket> {
 
  private:
   void handle_message(const WireHeader& header, ByteSpan payload);
+  /// Once closed, the stored callbacks are dead weight — and worse, an
+  /// application closure that captures its own stream adapter would cycle
+  /// back to this socket through on_data_. Dropping them on every close
+  /// path keeps socket ownership a DAG.
+  void release_callbacks() noexcept;
 
   ContainerNet& net_;
   ConduitPtr conduit_;

@@ -35,6 +35,10 @@ class VirtualQp : public std::enable_shared_from_this<VirtualQp> {
   [[nodiscard]] orch::Transport transport() const noexcept { return conduit_->transport(); }
   [[nodiscard]] ConduitPtr conduit() const noexcept { return conduit_; }
 
+  /// Tears the connection down: pending work completes with qp_error and
+  /// the teardown propagates to the peer QP over the conduit.
+  void close() { conduit_->close(); }
+
   /// ContainerNet-internal: wires the conduit's messages to this QP.
   void bind();
 

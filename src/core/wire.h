@@ -26,6 +26,7 @@ enum class VMsg : std::uint8_t {
   verbs_read_resp,
   rebind,        ///< migration: this channel replaces conduit `token`
   mpi_data,      ///< MPI point-to-point payload (tag in `offset`)
+  bye,           ///< teardown: the sending side closed conduit `token`
 };
 
 struct WireHeader {

@@ -45,40 +45,44 @@ void DpdkPort::pump_tx() {
   auto [dst, message] = std::move(tx_queue_.front());
   tx_queue_.pop_front();
 
-  const auto total = static_cast<std::uint32_t>(message.size());
   const std::uint64_t msg_id = next_msg_id_++;
-  auto msg = std::make_shared<Buffer>(std::move(message));
+  stream_frames(std::make_shared<Buffer>(std::move(message)), msg_id, dst, 0);
+}
+
+// One burst frame per call; the PMD-core completion re-invokes for the next
+// offset. The pending event holds the port, the frame, and the source
+// buffer — no callback ever owns itself (teardown protocol).
+void DpdkPort::stream_frames(const std::shared_ptr<Buffer>& msg,
+                             std::uint64_t msg_id, fabric::HostId dst,
+                             std::uint32_t offset) {
+  const auto total = static_cast<std::uint32_t>(msg->size());
+  const std::uint32_t n = total == 0 ? 0 : std::min(k_frame_payload, total - offset);
+  auto frame = acquire_frame();
+  frame->msg_id = msg_id;
+  frame->total_len = total;
+  frame->offset = offset;
+  frame->last = offset + n >= total;
+  if (n > 0) frame->payload = Buffer(msg->data() + offset, n);
+
   const auto& m = host_.cost_model();
-
-  auto emit = std::make_shared<std::function<void(std::uint32_t)>>();
-  *emit = [this, emit, msg, msg_id, total, dst, &m](std::uint32_t offset) {
-    const std::uint32_t n =
-        total == 0 ? 0 : std::min(k_frame_payload, total - offset);
-    auto frame = acquire_frame();
-    frame->msg_id = msg_id;
-    frame->total_len = total;
-    frame->offset = offset;
-    frame->last = offset + n >= total;
-    if (n > 0) frame->payload = Buffer(msg->data() + offset, n);
-
-    pmd_core_.submit(m.dpdk_pkt_cost(n), [this, frame, dst, emit, offset, n]() {
-      auto packet = fabric::acquire_packet();
-      packet->dst_host = dst;
-      packet->wire_bytes = static_cast<std::uint32_t>(frame->payload.size()) + k_frame_header;
-      packet->kind = fabric::PacketKind::dpdk_frame;
-      const bool more = !frame->last;
-      packet->body = frame;
-      host_.nic().send(std::move(packet));
-      if (more) {
-        (*emit)(offset + n);
-      } else {
-        tx_active_ = false;
-        if (tx_queue_.size() < 32 && on_tx_space_) on_tx_space_();
-        pump_tx();
-      }
-    });
-  };
-  (*emit)(0);
+  pmd_core_.submit(m.dpdk_pkt_cost(n), [this, frame, msg, dst]() {
+    auto packet = fabric::acquire_packet();
+    packet->dst_host = dst;
+    packet->wire_bytes = static_cast<std::uint32_t>(frame->payload.size()) + k_frame_header;
+    packet->kind = fabric::PacketKind::dpdk_frame;
+    const bool more = !frame->last;
+    const std::uint64_t id = frame->msg_id;
+    const auto next = frame->offset + static_cast<std::uint32_t>(frame->payload.size());
+    packet->body = frame;
+    host_.nic().send(std::move(packet));
+    if (more) {
+      stream_frames(msg, id, dst, next);
+    } else {
+      tx_active_ = false;
+      if (tx_queue_.size() < 32 && on_tx_space_) on_tx_space_();
+      pump_tx();
+    }
+  });
 }
 
 void DpdkPort::on_frame(fabric::PacketPtr packet) {

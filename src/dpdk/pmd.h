@@ -90,6 +90,8 @@ class DpdkPort {
   std::map<std::pair<fabric::HostId, std::uint64_t>, Reassembly> rx_;
 
   void pump_tx();
+  void stream_frames(const std::shared_ptr<Buffer>& msg, std::uint64_t msg_id,
+                     fabric::HostId dst, std::uint32_t offset);
 
   static constexpr std::uint32_t k_frame_payload = 4096;  // burst unit
   static constexpr std::uint32_t k_frame_header = 42;

@@ -125,34 +125,8 @@ void RdmaDevice::handle_read_request(const std::shared_ptr<RdmaChunk>& request,
     return;
   }
 
-  const std::uint32_t mtu = m.rdma_mtu_bytes;
   const std::uint32_t total = request->read_len;
 
-  // Stream response chunks, one NIC-processor job each, self-scheduling.
-  auto emit = std::make_shared<std::function<void(std::uint32_t)>>();
-  *emit = [this, emit, mr, request, requester, total, mtu, &m](std::uint32_t offset) {
-    const std::uint32_t n = std::min(mtu, total - offset);
-    auto chunk = acquire_chunk();
-    chunk->kind = RdmaChunk::Kind::data;
-    chunk->opcode = Opcode::read;
-    chunk->src_qp = request->dst_qp;
-    chunk->dst_qp = request->src_qp;
-    chunk->msg_id = request->msg_id;
-    chunk->wr_id = request->wr_id;
-    chunk->total_len = total;
-    chunk->chunk_offset = offset;
-    chunk->last = offset + n >= total;
-    chunk->payload = Buffer(mr->data().data() + request->remote.offset + offset, n);
-
-    const double bus = m.nic_dma_bus_bytes_factor * static_cast<double>(n);
-    if (bus > 0) host_.membus().submit(bus, nullptr);
-
-    const bool more = !chunk->last;
-    nic_proc().submit(m.nic_pkt_cost(n), [this, chunk, requester, emit, offset, n, more]() {
-      transmit(requester, chunk);
-      if (more) (*emit)(offset + n);
-    });
-  };
   if (total == 0) {
     // Zero-length read completes immediately with an empty last chunk.
     auto chunk = acquire_chunk();
@@ -168,7 +142,44 @@ void RdmaDevice::handle_read_request(const std::shared_ptr<RdmaChunk>& request,
                       [this, chunk, requester]() { transmit(requester, chunk); });
     return;
   }
-  (*emit)(0);
+  stream_read_chunk(request, requester, 0);
+}
+
+// One MTU response chunk per call; the NIC-processor completion re-invokes
+// for the next offset. The pending event references only the device and the
+// request, never a callback that owns itself (teardown protocol). The MR is
+// re-looked-up each chunk so a mid-stream deregistration just stops the
+// stream instead of dangling.
+void RdmaDevice::stream_read_chunk(const std::shared_ptr<RdmaChunk>& request,
+                                   fabric::HostId requester, std::uint32_t offset) {
+  MrPtr mr = mr_by_rkey(request->remote.rkey);
+  if (mr == nullptr) return;
+  const auto& m = host_.cost_model();
+  const std::uint32_t total = request->read_len;
+  const std::uint32_t n = std::min(m.rdma_mtu_bytes, total - offset);
+
+  auto chunk = acquire_chunk();
+  chunk->kind = RdmaChunk::Kind::data;
+  chunk->opcode = Opcode::read;
+  chunk->src_qp = request->dst_qp;
+  chunk->dst_qp = request->src_qp;
+  chunk->msg_id = request->msg_id;
+  chunk->wr_id = request->wr_id;
+  chunk->total_len = total;
+  chunk->chunk_offset = offset;
+  chunk->last = offset + n >= total;
+  chunk->payload = Buffer(mr->data().data() + request->remote.offset + offset, n);
+
+  const double bus = m.nic_dma_bus_bytes_factor * static_cast<double>(n);
+  if (bus > 0) host_.membus().submit(bus, nullptr);
+
+  nic_proc().submit(m.nic_pkt_cost(n), [this, chunk, request, requester]() {
+    const bool more = !chunk->last;
+    const auto next =
+        chunk->chunk_offset + static_cast<std::uint32_t>(chunk->payload.size());
+    transmit(requester, chunk);
+    if (more) stream_read_chunk(request, requester, next);
+  });
 }
 
 }  // namespace freeflow::rdma

@@ -77,6 +77,8 @@ class RdmaDevice {
   void handle_data(const std::shared_ptr<RdmaChunk>& chunk);
   void handle_read_request(const std::shared_ptr<RdmaChunk>& chunk,
                            fabric::HostId requester);
+  void stream_read_chunk(const std::shared_ptr<RdmaChunk>& request,
+                         fabric::HostId requester, std::uint32_t offset);
 
   static std::uint32_t wire_bytes(const RdmaChunk& chunk) noexcept;
 

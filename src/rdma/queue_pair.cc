@@ -94,47 +94,52 @@ void QueuePair::emit_read_request(const SendWr& wr, std::uint64_t msg_id) {
 }
 
 void QueuePair::emit_chunks(const SendWr& wr, std::uint64_t msg_id) {
+  (void)wr;  // the WR is read back from outstanding_ so chunk events stay small
+  stream_chunk(msg_id, 0);
+}
+
+// One MTU chunk per call; the NIC-processor completion re-invokes for the
+// next offset. The pending event holds only a shared self — no callback ever
+// owns itself, so a QP's ownership never cycles (teardown protocol).
+void QueuePair::stream_chunk(std::uint64_t msg_id, std::uint32_t offset) {
+  auto it = outstanding_.find(msg_id);
+  if (it == outstanding_.end()) return;  // errored out mid-stream
+  const SendWr& wr = it->second;
   const auto& m = device_.host().cost_model();
   const std::uint32_t mtu = m.rdma_mtu_bytes;
   const auto total = static_cast<std::uint32_t>(wr.local.length);
+
+  const std::uint32_t n = total == 0 ? 0 : std::min(mtu, total - offset);
+  auto chunk = acquire_chunk();
+  chunk->kind = RdmaChunk::Kind::data;
+  chunk->opcode = wr.opcode;
+  chunk->src_qp = num_;
+  chunk->dst_qp = remote_qp_;
+  chunk->msg_id = msg_id;
+  chunk->wr_id = wr.wr_id;
+  chunk->total_len = total;
+  chunk->chunk_offset = offset;
+  chunk->last = offset + n >= total;
+  if (n > 0) {
+    chunk->payload = Buffer(wr.local.mr->data().data() + wr.local.offset + offset, n);
+  }
+  if (wr.opcode == Opcode::write) chunk->remote = wr.remote;
+
+  // DMA-read of the source buffer.
+  const double bus = m.nic_dma_bus_bytes_factor * static_cast<double>(n);
+  if (bus > 0) device_.host().membus().submit(bus, nullptr);
+
   auto self = shared_from_this();
-
-  auto emit = std::make_shared<std::function<void(std::uint32_t)>>();
-  *emit = [self, emit, wr, msg_id, total, mtu, &m](std::uint32_t offset) {
-    const std::uint32_t n = total == 0 ? 0 : std::min(mtu, total - offset);
-    auto chunk = acquire_chunk();
-    chunk->kind = RdmaChunk::Kind::data;
-    chunk->opcode = wr.opcode;
-    chunk->src_qp = self->num_;
-    chunk->dst_qp = self->remote_qp_;
-    chunk->msg_id = msg_id;
-    chunk->wr_id = wr.wr_id;
-    chunk->total_len = total;
-    chunk->chunk_offset = offset;
-    chunk->last = offset + n >= total;
-    if (n > 0) {
-      chunk->payload = Buffer(wr.local.mr->data().data() + wr.local.offset + offset, n);
-    }
-    if (wr.opcode == Opcode::write) chunk->remote = wr.remote;
-
-    // DMA-read of the source buffer.
-    auto& host = self->device_.host();
-    const double bus = m.nic_dma_bus_bytes_factor * static_cast<double>(n);
-    if (bus > 0) host.membus().submit(bus, nullptr);
-
+  device_.nic_proc().submit(m.nic_pkt_cost(n), [self, chunk, msg_id, offset, n]() {
     const bool more = !chunk->last;
-    self->device_.nic_proc().submit(
-        m.nic_pkt_cost(n), [self, emit, chunk, offset, n, more]() {
-          self->device_.transmit(self->remote_host_, chunk);
-          if (more) {
-            (*emit)(offset + n);
-          } else {
-            self->tx_active_ = false;
-            self->pump();
-          }
-        });
-  };
-  (*emit)(0);
+    self->device_.transmit(self->remote_host_, chunk);
+    if (more) {
+      self->stream_chunk(msg_id, offset + n);
+    } else {
+      self->tx_active_ = false;
+      self->pump();
+    }
+  });
 }
 
 void QueuePair::rx_data_chunk(const std::shared_ptr<RdmaChunk>& chunk) {

@@ -56,6 +56,7 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
  private:
   void pump();
   void emit_chunks(const SendWr& wr, std::uint64_t msg_id);
+  void stream_chunk(std::uint64_t msg_id, std::uint32_t offset);
   void emit_read_request(const SendWr& wr, std::uint64_t msg_id);
   void finish_wr(const SendWr& wr, std::uint32_t byte_len, WcStatus status);
   void deliver_recv(const std::shared_ptr<RdmaChunk>& chunk);

@@ -31,9 +31,12 @@ Status ShmLane::send(ByteSpan message) {
   tx_thread_.submit(send_cpu,
                     [this, size]() {
                       // Cross-core notification, then the receiver's poll +
-                      // copy-out.
+                      // copy-out. The loop hop escapes the lane's own
+                      // executors, so it alone carries a keep-alive: null for
+                      // stack/unique-owned lanes, the lane itself when shared.
+                      auto self = weak_from_this().lock();
                       host_.loop().schedule(host_.cost_model().shm_wakeup_ns,
-                                            [this, size]() { deliver_one(size); });
+                                            [this, self, size]() { deliver_one(size); });
                     },
                     sender_account_, &host_.membus(), side_bus);
   return ok_status();
@@ -47,6 +50,10 @@ void ShmLane::deliver_one(std::size_t payload_size) {
       model.shm_poll_ns + model.shm_copy_ns_per_byte * static_cast<double>(payload_size);
 
   rx_thread_.submit(recv_cpu, [this]() {
+    // Pin the lane across the handlers: delivering a teardown message (bye)
+    // may drop the channel's last reference to us mid-callback. Acquired at
+    // run time, not capture time, so queued jobs still don't pin their owner.
+    auto self = weak_from_this().lock();
     Buffer out;
     FF_CHECK(ring_.try_pop(out));
     ++delivered_;

@@ -18,7 +18,16 @@
 namespace freeflow::shm {
 
 /// One direction of a channel.
-class ShmLane {
+///
+/// Lifetime: work queued on the lane's own executors dies with the lane
+/// (SerialExecutor's liveness token turns in-flight pool completions into
+/// no-ops), so queued jobs never pin their owner — no leak cycle at
+/// shutdown. Only the cross-core wakeup hop through the event loop escapes
+/// the lane; when the lane is shared_ptr-owned (agent-brokered channels)
+/// that hop carries a keep-alive, so an endpoint may be torn down with
+/// traffic still in the ring without dangling the pending event. Stack- or
+/// unique-owned lanes (workload drivers) must simply outlive the run.
+class ShmLane : public std::enable_shared_from_this<ShmLane> {
  public:
   ShmLane(fabric::Host& host, std::size_t ring_bytes);
 

@@ -76,7 +76,9 @@ void SerialExecutor::start_next() {
     const SimDuration wait = active_.bus->backlog_ns();
     active_.bus->submit(active_.bus_bytes, nullptr);
     if (wait > 0) {
-      pool_.loop().schedule(wait, [this]() { launch_active(); });
+      pool_.loop().schedule(wait, [this, alive = std::weak_ptr<const bool>(alive_)]() {
+        if (!alive.expired()) launch_active();
+      });
       return;
     }
   }
@@ -84,13 +86,18 @@ void SerialExecutor::start_next() {
 }
 
 void SerialExecutor::launch_active() {
-  pool_.submit(active_.units, [this]() { finish_active(); }, active_.account);
+  pool_.submit(active_.units,
+               [this, alive = std::weak_ptr<const bool>(alive_)]() {
+                 if (!alive.expired()) finish_active();
+               },
+               active_.account);
 }
 
 void SerialExecutor::finish_active() {
+  std::weak_ptr<const bool> alive = alive_;
   DoneFn done = std::move(active_.done);
-  if (done) done();  // may re-submit; the active slot is already released
-  start_next();
+  if (done) done();  // may re-submit — or destroy this executor entirely
+  if (!alive.expired()) start_next();
 }
 
 }  // namespace freeflow::sim

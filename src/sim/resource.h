@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -119,6 +120,12 @@ class SerialExecutor {
   std::deque<Job> queue_;
   Job active_{};
   bool busy_ = false;
+  /// Liveness token: pool/loop completions hold a weak observer, so an
+  /// executor destroyed with work in flight (channel teardown) turns its
+  /// pending completions into no-ops instead of use-after-free — and queued
+  /// jobs never need to keep their owner alive (which would be a leak cycle
+  /// for jobs that are still queued at shutdown).
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace freeflow::sim

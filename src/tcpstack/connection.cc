@@ -212,6 +212,9 @@ void TcpConnection::maybe_finish_close() {
 void TcpConnection::teardown() {
   rto_timer_.cancel();
   net_.forget(flow_);
+  // The connection just left the demux; nothing can invoke the app callbacks
+  // again, and keeping them would pin any stream adapter captured inside.
+  release_callbacks();
 }
 
 void TcpConnection::enter_established() { state_ = ConnState::established; }

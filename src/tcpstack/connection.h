@@ -56,6 +56,16 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   /// Graceful close: FIN after the send queue drains.
   void close();
 
+  /// Drops the stored application callbacks. An app closure that captures
+  /// its own stream adapter — which owns this connection — would otherwise
+  /// cycle back through on_data_. Called on teardown, and by the network
+  /// destructor for connections that were never closed.
+  void release_callbacks() noexcept {
+    on_data_ = nullptr;
+    on_writable_ = nullptr;
+    on_close_ = nullptr;
+  }
+
   [[nodiscard]] ConnState state() const noexcept { return state_; }
   [[nodiscard]] const FourTuple& flow() const noexcept { return flow_; }
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }

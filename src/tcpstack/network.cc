@@ -7,6 +7,13 @@ namespace freeflow::tcp {
 TcpNetwork::TcpNetwork(sim::EventLoop& loop, const sim::CostModel& model, PathBuilder& builder)
     : loop_(loop), model_(model), builder_(builder) {}
 
+TcpNetwork::~TcpNetwork() {
+  // Connections that were never closed still sit in the demux with their app
+  // callbacks attached; a stream adapter captured in on_data_ owns the
+  // connection right back, and the cycle would outlive the stack.
+  for (auto& [flow, conn] : connections_) conn->release_callbacks();
+}
+
 Status TcpNetwork::listen(const Endpoint& local, AcceptFn on_accept) {
   if (local.port == 0) return invalid_argument("cannot listen on port 0");
   auto [it, inserted] = listeners_.emplace(local.key(), Listener{std::move(on_accept)});

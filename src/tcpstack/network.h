@@ -32,6 +32,7 @@ class TcpNetwork {
   using ConnectFn = std::function<void(Result<TcpConnection::Ptr>)>;
 
   TcpNetwork(sim::EventLoop& loop, const sim::CostModel& model, PathBuilder& builder);
+  ~TcpNetwork();
 
   TcpNetwork(const TcpNetwork&) = delete;
   TcpNetwork& operator=(const TcpNetwork&) = delete;

@@ -19,10 +19,12 @@ std::shared_ptr<WireBody> acquire_wire_body() {
 }  // namespace
 
 void CpuHop::transit(const SegmentPtr& seg, sim::DoneFn next) {
+  auto thread = thread_.lock();
+  if (!thread) return;  // endpoint unbound mid-flight: the segment is lost
   const double cost = cost_(*seg);
   const double bus_bytes = bus_factor_ * static_cast<double>(seg->payload_bytes());
-  thread_->submit(cost, std::move(next), account_,
-                  bus_bytes > 0 ? &host_.membus() : nullptr, bus_bytes);
+  thread->submit(cost, std::move(next), account_,
+                 bus_bytes > 0 ? &host_.membus() : nullptr, bus_bytes);
 }
 
 void WireHop::transit(const SegmentPtr& seg, sim::DoneFn next) {

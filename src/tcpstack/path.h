@@ -37,15 +37,22 @@ class Hop {
 /// which is what CPU-bounds a single flow even on a multicore host. The
 /// executor is shared between hops that execute in the same context (e.g.
 /// the sender's stack + veth/bridge softirq, or one software router).
+///
+/// The hop only *observes* the thread: the owning edge lives with whoever
+/// registered the endpoint (tcp::AddressMap binding, overlay binding or
+/// router). Otherwise a segment queued on the thread — whose continuation
+/// holds the hop list, which holds this hop — would cycle back to the
+/// executor and pin the whole path at teardown. A transit after the owner
+/// unbound is simply a dropped packet.
 class CpuHop final : public Hop {
  public:
   using CostFn = std::function<double(const Segment&)>;
 
-  CpuHop(fabric::Host& host, std::shared_ptr<sim::SerialExecutor> thread, CostFn cost,
-         sim::UsageAccount* account = nullptr,
+  CpuHop(fabric::Host& host, const std::shared_ptr<sim::SerialExecutor>& thread,
+         CostFn cost, sim::UsageAccount* account = nullptr,
          double bus_bytes_per_payload_byte = 0.0)
       : host_(host),
-        thread_(std::move(thread)),
+        thread_(thread),
         cost_(std::move(cost)),
         account_(account),
         bus_factor_(bus_bytes_per_payload_byte) {}
@@ -54,7 +61,7 @@ class CpuHop final : public Hop {
 
  private:
   fabric::Host& host_;
-  std::shared_ptr<sim::SerialExecutor> thread_;
+  std::weak_ptr<sim::SerialExecutor> thread_;
   CostFn cost_;
   sim::UsageAccount* account_;
   double bus_factor_;

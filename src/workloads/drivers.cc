@@ -88,9 +88,11 @@ ThroughputReport drive_tcp_stream(
 
   // Closed-loop: keep each send buffer full.
   for (auto& conn : senders) {
+    // The connection's on_writable owns the pump; the pump must not own
+    // itself (or the connection) or the trio never frees.
     auto pump = std::make_shared<std::function<void()>>();
     tcp::TcpConnection* raw = conn.get();
-    *pump = [raw, msg_bytes, pump]() {
+    *pump = [raw, msg_bytes]() {
       while (raw->send(Buffer(msg_bytes)).is_ok()) {
       }
     };
@@ -231,25 +233,33 @@ ThroughputReport drive_rdma_stream(fabric::Cluster& cluster, rdma::RdmaDevice& s
     flow->src = src_dev.reg_mr(msg_bytes);
     flow->dst = dst_dev.reg_mr(msg_bytes);
 
+    // The notify hook is stored on qa's send CQ, which qa owns: capturing
+    // the flow (which owns qa) strongly there would cycle. Weak captures
+    // make the hook a no-op once the flow itself is gone.
     auto pump = std::make_shared<std::function<void()>>();
-    *pump = [flow, msg_bytes]() {
-      while (flow->inflight < 8) {
+    *pump = [wflow = std::weak_ptr<Flow>(flow), msg_bytes]() {
+      auto f = wflow.lock();
+      if (!f) return;
+      while (f->inflight < 8) {
         rdma::SendWr wr;
         wr.opcode = rdma::Opcode::write;
-        wr.local = {flow->src, 0, msg_bytes};
-        wr.remote = {flow->dst->rkey(), 0};
-        FF_CHECK(flow->qa->post_send(wr).is_ok());
-        ++flow->inflight;
+        wr.local = {f->src, 0, msg_bytes};
+        wr.remote = {f->dst->rkey(), 0};
+        FF_CHECK(f->qa->post_send(wr).is_ok());
+        ++f->inflight;
       }
     };
-    flow->qa->send_cq()->set_notify([flow, pump, rx_bytes, msg_bytes]() {
-      rdma::WorkCompletion wc;
-      while (flow->qa->send_cq()->poll({&wc, 1}) == 1) {
-        --flow->inflight;
-        *rx_bytes += msg_bytes;
-      }
-      (*pump)();
-    });
+    flow->qa->send_cq()->set_notify(
+        [wflow = std::weak_ptr<Flow>(flow), pump, rx_bytes, msg_bytes]() {
+          auto f = wflow.lock();
+          if (!f) return;
+          rdma::WorkCompletion wc;
+          while (f->qa->send_cq()->poll({&wc, 1}) == 1) {
+            --f->inflight;
+            *rx_bytes += msg_bytes;
+          }
+          (*pump)();
+        });
     (*pump)();
     flows.push_back(flow);
   }
@@ -277,22 +287,26 @@ SimDuration rdma_rtt(fabric::Cluster& cluster, rdma::RdmaDevice& a, rdma::RdmaDe
   auto mra = a.reg_mr(msg_bytes);
   auto mrb = b.reg_mr(msg_bytes);
 
-  // Echo server: on recv completion, send back.
-  auto repost_b = [qb, mrb, msg_bytes]() {
+  // Echo server: on recv completion, send back. The hook lives on qb's own
+  // recv CQ, so it must observe qb weakly or the QP never frees.
+  auto repost_b = [mrb, msg_bytes](rdma::QueuePair& qp) {
     rdma::RecvWr r;
     r.local = {mrb, 0, msg_bytes};
-    FF_CHECK(qb->post_recv(r).is_ok());
+    FF_CHECK(qp.post_recv(r).is_ok());
   };
-  repost_b();
-  qb->recv_cq()->set_notify([qb, mrb, msg_bytes, repost_b]() {
-    rdma::WorkCompletion wc;
-    while (qb->recv_cq()->poll({&wc, 1}) == 1) {
-      repost_b();
-      rdma::SendWr s;
-      s.local = {mrb, 0, msg_bytes};
-      FF_CHECK(qb->post_send(s).is_ok());
-    }
-  });
+  repost_b(*qb);
+  qb->recv_cq()->set_notify(
+      [wqb = std::weak_ptr<rdma::QueuePair>(qb), mrb, msg_bytes, repost_b]() {
+        auto q = wqb.lock();
+        if (!q) return;
+        rdma::WorkCompletion wc;
+        while (q->recv_cq()->poll({&wc, 1}) == 1) {
+          repost_b(*q);
+          rdma::SendWr s;
+          s.local = {mrb, 0, msg_bytes};
+          FF_CHECK(q->post_send(s).is_ok());
+        }
+      });
 
   std::vector<SimDuration> samples;
   for (int i = 0; i < iters; ++i) {
@@ -357,11 +371,16 @@ ThroughputReport drive_freeflow_stream(fabric::Cluster& cluster,
   client->set_on_space([pump]() { (*pump)(); });
   (*pump)();
   // Writability can also return via delivered messages; re-pump on a timer.
+  // Each queued timer job owns the tick; the closure observes itself weakly,
+  // so once `stopped` stops the rescheduling the chain frees itself — a
+  // strong self-capture would pin pump -> socket -> conduit forever.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [&cluster, pump, tick, stopped]() {
+  *tick = [&cluster, pump, wtick = std::weak_ptr<std::function<void()>>(tick), stopped]() {
     if (*stopped) return;
     (*pump)();
-    cluster.loop().schedule(20 * k_microsecond, [tick]() { (*tick)(); });
+    auto t = wtick.lock();
+    if (!t) return;
+    cluster.loop().schedule(20 * k_microsecond, [t]() { (*t)(); });
   };
   (*tick)();
 

@@ -59,12 +59,17 @@ void PsWorker::iterate(int remaining, SimTime started, DoneFn done) {
   pull.remote = {server_mr_, 0};
   FF_CHECK(qp_->post_send(pull).is_ok());
 
+  // The hook is stored on the CQ itself, so it holds the CQ weakly — a
+  // strong capture would be a self-cycle for any run that ends mid-iterate.
   auto scq = qp_->send_cq();
-  scq->set_notify([this, scq, remaining, started, done]() {
+  scq->set_notify([this, wcq = std::weak_ptr<rdma::CompletionQueue>(scq), remaining,
+                   started, done]() {
+    auto cq = wcq.lock();
+    if (!cq) return;
     rdma::WorkCompletion wc;
-    while (scq->poll({&wc, 1}) == 1) {
+    while (cq->poll({&wc, 1}) == 1) {
       if (wc.opcode == rdma::Opcode::read && wc.status == rdma::WcStatus::success) {
-        scq->set_notify(nullptr);
+        cq->set_notify(nullptr);
         net_->loop().schedule(0, [this, remaining, started, done]() {
           iterate(remaining - 1, started, done);
         });

@@ -26,8 +26,11 @@ void Shuffle::run(std::function<SimTime()> now, std::function<void(SimDuration)>
 void Shuffle::pump_flow(const StreamPtr& stream, std::shared_ptr<std::uint64_t> sent) {
   // Drive the flow until done; kernel-TCP backpressure (would_block) pauses
   // the loop and on_writable resumes it.
+  // The closure must not capture `pump` itself: the resume path owns it via
+  // on_writable, and a self-capture would be an unbreakable cycle pinning
+  // stream -> socket -> conduit.
   auto pump = std::make_shared<std::function<void()>>();
-  *pump = [this, stream, sent, pump]() {
+  *pump = [this, stream, sent]() {
     while (*sent < config_.bytes_per_flow) {
       const std::uint64_t n =
           std::min<std::uint64_t>(config_.chunk_bytes, config_.bytes_per_flow - *sent);

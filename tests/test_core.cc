@@ -71,8 +71,8 @@ TEST(WireProtocol, ParseRejectsTruncatedAndMismatched) {
   EXPECT_FALSE(parse_message(tiny.view()).is_ok());
   WireHeader h;
   Buffer msg = make_message(h, Buffer(5).view());
-  msg.resize(msg.size() - 1);  // truncate the payload
-  EXPECT_FALSE(parse_message(msg.view()).is_ok());
+  Buffer truncated(msg.data(), msg.size() - 1);  // drop the last payload byte
+  EXPECT_FALSE(parse_message(truncated.view()).is_ok());
 }
 
 TEST(ConduitUnit, QueuesUntilChannelAttached) {
