@@ -7,8 +7,9 @@
 #   2 test           ctest, normal config
 #   3 build-asan     ASan+UBSan config, warnings-as-errors
 #   4 test-asan      ctest under ASan+UBSan with LeakSanitizer ENABLED
-#   5 bench-smoke    bench_sim_core --json (proves the perf harness runs)
-#   6 perf-gate      ci/perf_gate.py vs the committed baseline
+#   5 chaos-smoke    failover matrix (test_faults) under LeakSanitizer
+#   6 bench-smoke    bench_sim_core --json (proves the perf harness runs)
+#   7 perf-gate      ci/perf_gate.py vs the committed baseline
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,6 +41,13 @@ stage "test-asan (LeakSanitizer enabled)"
 # No detect_leaks=0 and no suppression file: the explicit teardown protocol
 # keeps steady-state ownership a DAG, so every test must exit leak-clean.
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+stage "chaos-smoke (failover matrix under LeakSanitizer)"
+# The fault matrix tears lanes down mid-transfer; running it under ASan+LSan
+# proves failover never leaks or double-frees channel/trunk state. It already
+# ran in stage 4 alongside everything else — this stage re-runs it alone so a
+# chaos regression is named by the gate that owns it.
+./build-asan/tests/test_faults --gtest_brief=1
 
 stage "bench-smoke (bench_sim_core --json)"
 ./build/bench/bench_sim_core --json build/BENCH_sim_core.json

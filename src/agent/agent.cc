@@ -53,13 +53,46 @@ Agent::Agent(AgentFabric& fabric, fabric::Host& host)
         const TrunkKey key{peer, orch::Transport::tcp_host};
         if (!trunks_.contains(key)) {
           auto trunk = std::make_shared<TcpTrunk>(host_.loop());
-          trunk->set_on_record([this](Buffer&& r) { dispatch_record(std::move(r)); });
-          trunk->set_on_drained([this]() { notify_space(); });
           trunk->attach(std::move(conn));
-          trunks_.emplace(key, std::move(trunk));
+          adopt_trunk(key, std::move(trunk));
         }
       });
   FF_CHECK(listening.is_ok());
+
+  // Send-error-driven lane failure: a packet the sick NIC drops indicts that
+  // transport's lanes immediately, well before any heartbeat times out. The
+  // declaration is deferred one event — the drop fires mid-send, deep inside
+  // trunk machinery that must not be retired under its own feet. Kernel TCP
+  // frames are exempt (the stack retransmits through transient loss), and a
+  // full link outage is the orchestrator's call, not ours.
+  std::weak_ptr<bool> alive = alive_;
+  host_.nic().set_on_drop([this, alive](fabric::PacketKind kind) {
+    if (alive.expired()) return;
+    orch::Transport transport;
+    switch (kind) {
+      case fabric::PacketKind::rdma_chunk:
+        transport = orch::Transport::rdma;
+        break;
+      case fabric::PacketKind::dpdk_frame:
+        transport = orch::Transport::dpdk;
+        break;
+      default:
+        return;
+    }
+    host_.loop().schedule(0, [this, alive, transport]() {
+      if (alive.expired()) return;
+      std::vector<fabric::HostId> peers;
+      for (const auto& [key, trunk] : trunks_) {
+        if (key.transport == transport) peers.push_back(key.peer);
+      }
+      for (const fabric::HostId peer : peers) declare_lane_failed(peer, transport);
+    });
+  });
+}
+
+Agent::~Agent() {
+  monitor_.cancel();
+  host_.nic().set_on_drop(nullptr);
 }
 
 void Agent::register_container(orch::ContainerId id, IncomingFn on_incoming) {
@@ -267,11 +300,31 @@ rdma::RdmaDevice& Agent::rdma_device() {
 dpdk::DpdkPort& Agent::dpdk_port() {
   if (dpdk_port_ == nullptr) {
     dpdk_port_ = std::make_unique<dpdk::DpdkPort>(host_);
-    dpdk_port_->set_on_message(
-        [this](fabric::HostId, Buffer&& record) { dispatch_record(std::move(record)); });
+    // The port is shared by every DPDK trunk, so rx activity is credited to
+    // the lane by the frame's source host rather than per-trunk callbacks.
+    dpdk_port_->set_on_message([this](fabric::HostId src, Buffer&& record) {
+      note_lane_rx(TrunkKey{src, orch::Transport::dpdk});
+      dispatch_record(std::move(record));
+    });
     dpdk_port_->set_on_tx_space([this]() { notify_space(); });
   }
   return *dpdk_port_;
+}
+
+void Agent::adopt_trunk(const TrunkKey& key, std::shared_ptr<Trunk> trunk) {
+  trunk->set_on_record([this, key](Buffer&& r) {
+    note_lane_rx(key);
+    dispatch_record(std::move(r));
+  });
+  trunk->set_on_drained([this]() { notify_space(); });
+  lane_last_rx_[key] = host_.loop().now();
+  trunks_[key] = std::move(trunk);
+  arm_monitor();
+}
+
+void Agent::note_lane_rx(const TrunkKey& key) {
+  auto it = lane_last_rx_.find(key);
+  if (it != lane_last_rx_.end()) it->second = host_.loop().now();
 }
 
 void Agent::setup_rdma_trunk(fabric::HostId peer,
@@ -309,11 +362,7 @@ void Agent::setup_rdma_trunk(fabric::HostId peer,
       peer_trunk = std::make_shared<RdmaTrunk>(
           peer_agent->rdma_device(), peer_agent->account_, pcfg.zero_copy,
           pcfg.fragment_bytes + RelayHeader::k_size, pcfg.rdma_slots);
-      peer_trunk->set_on_record([peer_agent](Buffer&& r) {
-        peer_agent->dispatch_record(std::move(r));
-      });
-      peer_trunk->set_on_drained([peer_agent]() { peer_agent->notify_space(); });
-      peer_agent->trunks_.emplace(peer_key, peer_trunk);
+      peer_agent->adopt_trunk(peer_key, peer_trunk);
     }
     if (peer_trunk->qp()->state() != rdma::QpState::ready) {
       FF_CHECK(peer_trunk->qp()->connect(self_host, my_qp).is_ok());
@@ -321,10 +370,21 @@ void Agent::setup_rdma_trunk(fabric::HostId peer,
     }
     const rdma::QpNum peer_qp = peer_trunk->qp()->num();
     fabric::send_control(peer_agent->host(), self_host, k_ctrl_bytes,
-                         [this, trunk, peer, peer_qp, ready]() {
+                         [this, trunk, peer_agent, peer_key, peer_trunk, peer,
+                          peer_qp, ready]() {
+      // The lane can die while this handshake is in flight: the peer then
+      // retires its half and mirrors the declare here — before our half is
+      // adopted, so the mirror finds nothing. Adopting now would wire a
+      // zombie trunk into the map; fail the establish instead (the caller's
+      // re-decision loop retries once health settles).
+      auto it = peer_agent->trunks_.find(peer_key);
+      if (it == peer_agent->trunks_.end() || it->second != peer_trunk) {
+        ready(unavailable("rdma lane died during trunk setup"));
+        return;
+      }
       FF_CHECK(trunk->qp()->connect(peer, peer_qp).is_ok());
       trunk->start();
-      trunks_.emplace(TrunkKey{peer, orch::Transport::rdma}, trunk);
+      adopt_trunk(TrunkKey{peer, orch::Transport::rdma}, trunk);
       ready(trunk.get());
     });
   });
@@ -351,14 +411,20 @@ void Agent::setup_dpdk_trunk(fabric::HostId peer,
     // Peer-side trunk toward us so its containers can answer.
     const TrunkKey peer_key{self_host, orch::Transport::dpdk};
     if (!peer_agent->trunks_.contains(peer_key)) {
-      peer_agent->trunks_.emplace(
+      peer_agent->adopt_trunk(
           peer_key, std::make_shared<DpdkTrunk>(peer_agent->dpdk_port(), self_host));
     }
     fabric::send_control(peer_agent->host(), self_host, k_ctrl_bytes,
-                         [this, peer, ready]() {
+                         [this, peer_agent, peer_key, peer, ready]() {
+      // Same mid-setup death race as the RDMA trunk: if the peer's half was
+      // declared dead while the handshake was in flight, don't adopt ours.
+      if (!peer_agent->trunks_.contains(peer_key)) {
+        ready(unavailable("dpdk lane died during trunk setup"));
+        return;
+      }
       auto trunk = std::make_shared<DpdkTrunk>(dpdk_port(), peer);
       Trunk* raw = trunk.get();
-      trunks_.emplace(TrunkKey{peer, orch::Transport::dpdk}, std::move(trunk));
+      adopt_trunk(TrunkKey{peer, orch::Transport::dpdk}, std::move(trunk));
       ready(raw);
     });
   });
@@ -376,11 +442,9 @@ void Agent::setup_tcp_trunk(fabric::HostId peer,
       return;
     }
     auto trunk = std::make_shared<TcpTrunk>(host_.loop());
-    trunk->set_on_record([this](Buffer&& r) { dispatch_record(std::move(r)); });
-    trunk->set_on_drained([this]() { notify_space(); });
     trunk->attach(std::move(conn.value()));
     Trunk* raw = trunk.get();
-    trunks_.emplace(TrunkKey{peer, orch::Transport::tcp_host}, std::move(trunk));
+    adopt_trunk(TrunkKey{peer, orch::Transport::tcp_host}, std::move(trunk));
     ready(raw);
   });
 }
@@ -417,6 +481,11 @@ void Agent::drop_drained_lane(std::uint64_t channel_id) {
 void Agent::relay_outbound(orch::ContainerId src, orch::ContainerId dst,
                            fabric::HostId peer_host, std::uint64_t channel_id,
                            orch::Transport transport, Buffer&& message) {
+  if (paused_) {
+    paused_tx_.push_back(
+        {src, dst, peer_host, channel_id, transport, std::move(message)});
+    return;
+  }
   const TrunkKey key{peer_host, transport};
   auto it = trunks_.find(key);
   if (it == trunks_.end()) {
@@ -468,6 +537,107 @@ void Agent::notify_space() {
   }
 }
 
+// ------------------------------------------------------------- lane health
+
+void Agent::arm_monitor() {
+  if (monitor_armed_) return;
+  const SimDuration interval = fabric_.config().heartbeat_interval_ns;
+  if (interval <= 0) return;
+  monitor_armed_ = true;
+  monitor_ = host_.loop().schedule_cancellable(interval, [this]() { monitor_tick(); });
+}
+
+void Agent::monitor_tick() {
+  const SimDuration interval = fabric_.config().heartbeat_interval_ns;
+  if (interval <= 0 || lane_last_rx_.empty()) {
+    monitor_armed_ = false;  // disarmed; the next adopt_trunk re-arms
+    return;
+  }
+  if (!paused_) {
+    const SimTime now = host_.loop().now();
+    const SimDuration timeout = fabric_.config().heartbeat_timeout_ns;
+    std::vector<TrunkKey> dead;
+    for (const auto& [key, last_rx] : lane_last_rx_) {
+      if (now - last_rx > timeout) {
+        dead.push_back(key);
+      } else {
+        send_heartbeat(key);
+      }
+    }
+    for (const TrunkKey& key : dead) declare_lane_failed(key.peer, key.transport);
+  }
+  monitor_ = host_.loop().schedule_cancellable(interval, [this]() { monitor_tick(); });
+}
+
+void Agent::send_heartbeat(const TrunkKey& key) {
+  auto it = trunks_.find(key);
+  if (it == trunks_.end()) return;
+  RelayHeader header;  // channel 0: dropped by the peer after clocking rx
+  header.channel = 0;
+  header.msg_seq = next_msg_seq_++;
+  it->second->send(make_record(header, ByteSpan{}));
+}
+
+void Agent::declare_lane_failed(fabric::HostId peer, orch::Transport transport) {
+  const TrunkKey key{peer, transport};
+  auto it = trunks_.find(key);
+  if (it == trunks_.end()) return;
+  ++lanes_failed_;
+  FF_LOG(info, "agent") << host_.name() << ": lane to host " << peer << " over "
+                        << orch::transport_name(transport) << " declared dead";
+  retired_trunks_.push_back(std::move(it->second));
+  trunks_.erase(it);
+  lane_last_rx_.erase(key);
+  // Fail the endpoints first so their conduits detach and go stale, then
+  // report: the report's health callback is what triggers re-decision, and
+  // by then every victim must already know its old lane is gone.
+  fail_endpoints_on(peer, transport);
+  // A trunk is a pair: the mirror half on the peer agent is equally dead
+  // (its QP would error, its connection reset). Retiring both sides keeps
+  // trunk state symmetric, so a later re-establish builds a fresh pair
+  // instead of half-wiring onto a corpse. Recursion terminates because our
+  // side is already erased.
+  fabric_.agent_on(peer).declare_lane_failed(host_.id(), transport);
+  fabric_.orchestrator().report_lane_failure(host_.id(), peer, transport);
+}
+
+void Agent::fail_endpoints_on(fabric::HostId peer, orch::Transport transport) {
+  // Snapshot first: fail() re-enters release_channel and mutates the map.
+  std::vector<std::shared_ptr<RemoteChannelEndpoint>> victims;
+  for (auto it = endpoints_.begin(); it != endpoints_.end();) {
+    auto ep = it->second.lock();
+    if (ep == nullptr) {
+      it = endpoints_.erase(it);
+      continue;
+    }
+    if (ep->peer_host() == peer && ep->transport() == transport) {
+      victims.push_back(std::move(ep));
+    }
+    ++it;
+  }
+  for (auto& ep : victims) ep->fail();
+}
+
+void Agent::set_paused(bool paused) {
+  if (paused_ == paused) return;
+  paused_ = paused;
+  FF_LOG(info, "agent") << host_.name() << (paused ? ": paused" : ": resumed");
+  if (paused_) return;
+  // Nothing was lost while frozen, but every lane looks silent; reset the rx
+  // clocks so the monitor doesn't declare the whole fabric dead on resume.
+  const SimTime now = host_.loop().now();
+  for (auto& [key, last_rx] : lane_last_rx_) last_rx = now;
+  auto rx = std::move(paused_rx_);
+  paused_rx_.clear();
+  for (Buffer& record : rx) dispatch_record(std::move(record));
+  auto tx = std::move(paused_tx_);
+  paused_tx_.clear();
+  for (PausedRelay& p : tx) {
+    relay_outbound(p.src, p.dst, p.peer_host, p.channel_id, p.transport,
+                   std::move(p.message));
+  }
+}
+
 void Agent::release_channel(std::uint64_t channel_id) {
   endpoints_.erase(channel_id);
   for (auto it = rx_.begin(); it != rx_.end();) {
@@ -484,12 +654,19 @@ std::size_t Agent::endpoint_count() {
 }
 
 void Agent::dispatch_record(Buffer&& record) {
+  if (paused_) {
+    paused_rx_.push_back(std::move(record));
+    return;
+  }
   auto parsed = parse_record(record.view());
   if (!parsed.is_ok()) {
     FF_LOG(warn, "agent") << "malformed relay record: " << parsed.status();
     return;
   }
   const RelayHeader& h = parsed->header;
+  // Channel 0 is reserved for agent-to-agent heartbeats: the trunk callback
+  // already refreshed the lane's rx clock, which was the entire message.
+  if (h.channel == 0) return;
   FF_LOG(debug, "agent") << "rx record ch=" << h.channel << " seq=" << h.msg_seq
                          << " off=" << h.frag_offset << " frag=" << parsed->fragment.size()
                          << " total=" << h.total_len;

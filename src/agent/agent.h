@@ -14,6 +14,7 @@
 #include "agent/relay.h"
 #include "agent/trunk.h"
 #include "dpdk/pmd.h"
+#include "sim/event_loop.h"
 #include "shm/region.h"
 #include "orchestrator/network_orchestrator.h"
 #include "rdma/device.h"
@@ -31,6 +32,8 @@ class Agent {
   using EstablishFn = std::function<void(Result<ChannelPtr>)>;
 
   Agent(AgentFabric& fabric, fabric::Host& host);
+  /// Cancels the lane-health monitor and detaches the NIC drop hook.
+  ~Agent();
 
   Agent(const Agent&) = delete;
   Agent& operator=(const Agent&) = delete;
@@ -76,6 +79,19 @@ class Agent {
 
   [[nodiscard]] std::uint64_t records_relayed() const noexcept { return records_relayed_; }
 
+  // ---- fault tolerance --------------------------------------------------
+  /// Freezes the agent process: inbound records and outbound relays buffer
+  /// instead of flowing, and no heartbeats are sent (so a long pause looks
+  /// like agent death to peers). Resume replays the buffers in order.
+  void set_paused(bool paused);
+  [[nodiscard]] bool paused() const noexcept { return paused_; }
+
+  /// Retires the trunk toward (`peer`, `transport`), fails every channel
+  /// endpoint riding it (conduits then fail over), and reports the loss to
+  /// the orchestrator. Idempotent once the trunk is gone.
+  void declare_lane_failed(fabric::HostId peer, orch::Transport transport);
+  [[nodiscard]] std::uint64_t lanes_failed() const noexcept { return lanes_failed_; }
+
  private:
   friend class AgentFabric;
 
@@ -98,6 +114,16 @@ class Agent {
 
   rdma::RdmaDevice& rdma_device();
   dpdk::DpdkPort& dpdk_port();
+
+  /// Single point of trunk registration: wires keyed record/drain callbacks,
+  /// starts the lane's rx clock, and (re)arms the health monitor.
+  void adopt_trunk(const TrunkKey& key, std::shared_ptr<Trunk> trunk);
+  /// Marks rx activity on a monitored lane (no-op for retired lanes).
+  void note_lane_rx(const TrunkKey& key);
+  void arm_monitor();
+  void monitor_tick();
+  void send_heartbeat(const TrunkKey& key);
+  void fail_endpoints_on(fabric::HostId peer, orch::Transport transport);
 
  public:
   /// The host's /dev/shm model; lanes are backed by permissioned regions.
@@ -150,6 +176,33 @@ class Agent {
   shm::RegionRegistry shm_registry_;
   std::uint64_t records_relayed_ = 0;
   std::uint64_t next_msg_seq_ = 1;
+
+  // ---- lane health ------------------------------------------------------
+  /// Last time any record (heartbeats included) arrived on each live lane.
+  std::map<TrunkKey, SimTime> lane_last_rx_;
+  /// Failed trunks are retired here, not freed: their pump loops (RDMA
+  /// polling especially) hold raw pointers in already-scheduled events.
+  std::vector<std::shared_ptr<Trunk>> retired_trunks_;
+  sim::EventHandle monitor_;
+  bool monitor_armed_ = false;
+  std::uint64_t lanes_failed_ = 0;
+
+  // ---- pause (fault injection) ------------------------------------------
+  bool paused_ = false;
+  std::vector<Buffer> paused_rx_;
+  struct PausedRelay {
+    orch::ContainerId src;
+    orch::ContainerId dst;
+    fabric::HostId peer_host;
+    std::uint64_t channel_id;
+    orch::Transport transport;
+    Buffer message;
+  };
+  std::vector<PausedRelay> paused_tx_;
+
+  /// Liveness token for callbacks registered on longer-lived objects (the
+  /// NIC drop hook, deferred lane-failure declarations).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 /// Deployment-wide agent wiring: one agent per host, the shared underlay

@@ -44,6 +44,20 @@ class Channel {
   /// After close() the endpoint drops all traffic (used on migration).
   virtual void close() noexcept = 0;
   [[nodiscard]] virtual bool closed() const noexcept = 0;
+
+  /// Failure observer: the agent fails a channel when the lane backing it
+  /// dies (NIC fault, trunk declared dead). Distinct from close(): the
+  /// owner is expected to detach and splice onto a fallback transport.
+  void set_on_failed(std::function<void()> cb) { on_failed_ = std::move(cb); }
+  void fail() {
+    // Move-out first: the observer typically detaches this channel.
+    auto cb = std::move(on_failed_);
+    on_failed_ = nullptr;
+    if (cb) cb();
+  }
+
+ private:
+  std::function<void()> on_failed_;
 };
 
 using ChannelPtr = std::shared_ptr<Channel>;

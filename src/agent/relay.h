@@ -9,6 +9,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "common/units.h"
 #include "orchestrator/container.h"
 
 namespace freeflow::agent {
@@ -65,6 +66,14 @@ struct AgentConfig {
   std::size_t lane_ring_bytes = 4 * 1024 * 1024;
   std::uint32_t rdma_slots = 32;     ///< in-flight records per RDMA trunk
   std::uint16_t tcp_port = 7777;     ///< agent-to-agent TCP service port
+
+  /// Lane health monitoring: every interval the agent heartbeats each
+  /// remote trunk and declares a lane dead after heartbeat_timeout_ns of
+  /// rx silence. 0 disables monitoring (the default — the monitor timer
+  /// would otherwise keep an idle event loop alive forever, and most
+  /// workloads run on a lossless fabric).
+  SimDuration heartbeat_interval_ns = 0;
+  SimDuration heartbeat_timeout_ns = 2 * k_millisecond;
 };
 
 }  // namespace freeflow::agent

@@ -1,0 +1,28 @@
+// Why a conduit (and everything stacked on it: sockets, virtual QPs) was
+// closed. Surfaced through every close callback so applications can tell an
+// orderly shutdown from a fault — the difference between "peer finished"
+// and "re-dial somewhere else".
+#pragma once
+
+namespace freeflow::core {
+
+enum class CloseReason {
+  app_close,         ///< the local application asked for the close
+  peer_bye,          ///< the peer sent bye (orderly remote close)
+  drain_timeout,     ///< close handshake timed out waiting for bye_ack
+  transport_failed,  ///< the backing transport died and no path remained
+  host_crashed,      ///< the peer's host crashed (fault injection / ops)
+};
+
+[[nodiscard]] constexpr const char* close_reason_name(CloseReason reason) noexcept {
+  switch (reason) {
+    case CloseReason::app_close: return "app_close";
+    case CloseReason::peer_bye: return "peer_bye";
+    case CloseReason::drain_timeout: return "drain_timeout";
+    case CloseReason::transport_failed: return "transport_failed";
+    case CloseReason::host_crashed: return "host_crashed";
+  }
+  return "unknown";
+}
+
+}  // namespace freeflow::core

@@ -5,17 +5,33 @@
 namespace freeflow::core {
 
 void Conduit::send(const WireHeader& header, ByteSpan payload) {
-  if (closed_) return;  // teardown races with in-flight application sends
-  Buffer message = make_message(header, payload);
+  if (closed_ || closing_) return;  // teardown races with in-flight sends
+  WireHeader h = header;
+  h.seq = ++tx_seq_;
+  Buffer message = make_message(h, payload);
   if (channel_ == nullptr) {
     queue_.push_back(std::move(message));
     return;
   }
   ++sent_;
+  if (should_retain()) {
+    retained_.emplace_back(h.seq, Buffer(message.data(), message.size()));
+  }
   const Status s = channel_->send(std::move(message));
   if (!s.is_ok()) {
     FF_LOG(warn, "core") << "conduit send failed: " << s;
   }
+}
+
+void Conduit::send_control(VMsg type, std::uint64_t ack_upto) {
+  // Control messages (ack / bye / bye_ack) are unsequenced (seq 0), skip
+  // retention and are not counted in sent_ — protocol overhead, not traffic.
+  if (channel_ == nullptr) return;
+  WireHeader h;
+  h.type = type;
+  h.token = token_;
+  h.id = ack_upto;
+  channel_->send(make_message(h));
 }
 
 void Conduit::attach_channel(agent::ChannelPtr channel) {
@@ -26,48 +42,158 @@ void Conduit::attach_channel(agent::ChannelPtr channel) {
   channel_ = std::move(channel);
   auto self = weak_from_this();
   channel_->set_on_message([self](Buffer&& message) {
-    auto conduit = self.lock();
-    if (conduit == nullptr) return;
-    auto parsed = parse_message(message.view());
-    if (!parsed.is_ok()) {
-      FF_LOG(warn, "core") << "conduit got malformed message: " << parsed.status();
-      return;
-    }
-    if (parsed->header.type == VMsg::bye) {
-      conduit->close_from_peer();
-      return;
-    }
-    ++conduit->received_;
-    if (conduit->on_message_) {
-      // Copy: handlers swap themselves during handshakes (cm_accept installs
-      // the QP/socket data handler from inside the setup handler).
-      auto handler = conduit->on_message_;
-      handler(parsed->header, parsed->payload);
-    }
+    if (auto conduit = self.lock()) conduit->handle_message(std::move(message));
   });
   channel_->set_on_space([self]() {
     if (auto conduit = self.lock(); conduit && conduit->on_space_) conduit->on_space_();
   });
+  channel_->set_on_failed([self]() {
+    if (auto conduit = self.lock()) conduit->handle_channel_failed();
+  });
+  retransmit_retained();
   drain();
+  if (closing_) {
+    // Close handshake started while stale: re-issue the bye on the new path
+    // so the peer's bye_ack can still beat the drain timer.
+    send_control(VMsg::bye);
+  }
 }
 
-void Conduit::close() { do_close(/*notify_peer=*/true); }
+void Conduit::handle_message(Buffer&& message) {
+  auto parsed = parse_message(message.view());
+  if (!parsed.is_ok()) {
+    FF_LOG(warn, "core") << "conduit got malformed message: " << parsed.status();
+    return;
+  }
+  const WireHeader& h = parsed->header;
+  switch (h.type) {
+    case VMsg::ack:
+      handle_ack(h.id);
+      return;
+    case VMsg::bye:
+      handle_bye();
+      return;
+    case VMsg::bye_ack:
+      handle_bye_ack();
+      return;
+    default:
+      break;
+  }
+  if (h.seq != 0) {
+    if (h.seq < rx_next_) return;  // duplicate from a failover retransmit
+    if (h.seq > rx_next_) {
+      // Cumulative acks make this impossible in-protocol; a gap means the
+      // channel below reordered, which the transports never do.
+      FF_LOG(warn, "core") << "conduit " << token_ << " seq gap: got " << h.seq
+                           << " expected " << rx_next_;
+      return;
+    }
+    ++rx_next_;
+    maybe_ack();
+  }
+  ++received_;
+  if (on_message_) {
+    // Copy: handlers swap themselves during handshakes (cm_accept installs
+    // the QP/socket data handler from inside the setup handler).
+    auto handler = on_message_;
+    handler(parsed->header, parsed->payload);
+  }
+}
 
-void Conduit::close_from_peer() { do_close(/*notify_peer=*/false); }
+void Conduit::maybe_ack() {
+  if (!should_retain()) return;  // shm is lossless: peer retains nothing
+  if (++since_ack_ < k_ack_every) return;
+  since_ack_ = 0;
+  send_control(VMsg::ack, rx_next_ - 1);
+}
 
-void Conduit::do_close(bool notify_peer) {
+void Conduit::handle_ack(std::uint64_t acked_upto) {
+  const bool was_full = retained_.size() >= k_max_retained;
+  while (!retained_.empty() && retained_.front().first <= acked_upto) {
+    retained_.pop_front();
+  }
+  if (was_full && retained_.size() < k_max_retained && on_space_) on_space_();
+}
+
+void Conduit::handle_bye() {
+  // Peer-initiated close (or the peer's half of a simultaneous close):
+  // acknowledge so the peer's drain completes, then tear down this side.
+  send_control(VMsg::bye_ack);
+  finish_close(closing_ ? pending_reason_ : CloseReason::peer_bye,
+               /*notify_peer=*/false);
+}
+
+void Conduit::handle_bye_ack() {
+  if (closing_) finish_close(pending_reason_, /*notify_peer=*/false);
+}
+
+void Conduit::handle_channel_failed() {
+  if (closed_) return;
+  if (closing_) {
+    // The path carrying our bye died; the ack can never come.
+    finish_close(CloseReason::transport_failed, /*notify_peer=*/false);
+    return;
+  }
+  mark_stale();
+  // Copy: the observer re-binds, which may re-enter this conduit.
+  auto cb = on_transport_failed_;
+  if (cb) cb();
+}
+
+void Conduit::force_close(CloseReason reason) {
+  if (closed_) return;
+  // Hard teardown (net destructor / container stop): finish immediately with
+  // a best-effort bye. A drain already in flight keeps its original reason —
+  // the app asked first; the handshake just didn't get to complete.
+  finish_close(closing_ ? pending_reason_ : reason,
+               /*notify_peer=*/channel_ != nullptr);
+}
+
+void Conduit::close_with(CloseReason reason, bool handshake) {
+  if (closed_) return;
+  if (closing_) {
+    // A no-handshake close overtaking an in-flight drain (peer died): the
+    // ack can never come, so finish now instead of waiting out the timer.
+    if (!handshake) finish_close(pending_reason_, /*notify_peer=*/false);
+    return;
+  }
+  if (!handshake || channel_ == nullptr || loop_ == nullptr) {
+    // Fire-and-forget close: the legacy behaviour, and the only option for
+    // clockless conduits or known-dead peers. Still sends a best-effort bye.
+    finish_close(reason, /*notify_peer=*/handshake && channel_ != nullptr);
+    return;
+  }
+  closing_ = true;
+  pending_reason_ = reason;
+  // The app-facing hooks go now, not at finish_close: connect handshakes
+  // park a self-capturing lambda in on_message_, and a loop that stops
+  // mid-drain would strand that cycle forever. Nothing app-visible may
+  // fire during the drain anyway — bye/bye_ack dispatch internally.
+  on_message_ = nullptr;
+  on_space_ = nullptr;
+  on_transport_failed_ = nullptr;
+  send_control(VMsg::bye);
+  auto self = weak_from_this();
+  drain_timer_ = loop_->schedule_cancellable(drain_timeout_ns_, [self]() {
+    auto conduit = self.lock();
+    if (conduit == nullptr || conduit->closed_) return;
+    conduit->finish_close(CloseReason::drain_timeout, /*notify_peer=*/false);
+  });
+}
+
+void Conduit::finish_close(CloseReason reason, bool notify_peer) {
   if (closed_) return;
   closed_ = true;
+  closing_ = false;
+  close_reason_ = reason;
+  drain_timer_.cancel();
   queue_.clear();
+  retained_.clear();
   if (channel_ != nullptr) {
     if (notify_peer) {
       // The bye rides the lane behind any data already queued, so the peer
-      // drains in order and then tears down its side. Not counted in sent_:
-      // it is protocol overhead, not application traffic.
-      WireHeader h;
-      h.type = VMsg::bye;
-      h.token = token_;
-      channel_->send(make_message(h));
+      // drains in order and then tears down its side.
+      send_control(VMsg::bye);
     }
     channel_->close();
     channel_ = nullptr;
@@ -76,9 +202,10 @@ void Conduit::do_close(bool notify_peer) {
   // peers (or this conduit's captures) alive past close.
   on_message_ = nullptr;
   on_space_ = nullptr;
+  on_transport_failed_ = nullptr;
   auto closed_cb = std::move(on_closed_);
   on_closed_ = nullptr;
-  if (closed_cb) closed_cb();
+  if (closed_cb) closed_cb(reason);
   auto teardown = std::move(on_teardown_);
   on_teardown_ = nullptr;
   if (teardown) teardown();
@@ -90,13 +217,37 @@ void Conduit::mark_stale() {
     ++rebinds_;
   }
   channel_ = nullptr;
+  ++generation_;
+}
+
+void Conduit::retransmit_retained() {
+  // The peer drops already-delivered duplicates by sequence, so replaying
+  // the whole unacked window is safe — and the only way to guarantee the
+  // lost tail of the dead lane arrives.
+  for (auto& [seq, message] : retained_) {
+    (void)seq;
+    const Status s = channel_->send(Buffer(message.data(), message.size()));
+    if (!s.is_ok()) {
+      FF_LOG(warn, "core") << "conduit retransmit failed: " << s;
+    }
+  }
+  if (!should_retain()) {
+    // The new channel is lossless shm: once pushed it cannot be lost, and
+    // the peer will never ack over shm. Drop the window.
+    retained_.clear();
+  }
 }
 
 void Conduit::drain() {
   while (!queue_.empty() && channel_ != nullptr) {
-    ++sent_;
-    const Status s = channel_->send(std::move(queue_.front()));
+    Buffer message = std::move(queue_.front());
     queue_.pop_front();
+    ++sent_;
+    if (should_retain()) {
+      const std::uint64_t seq = WireHeader::decode(message.data()).seq;
+      retained_.emplace_back(seq, Buffer(message.data(), message.size()));
+    }
+    const Status s = channel_->send(std::move(message));
     if (!s.is_ok()) {
       FF_LOG(warn, "core") << "conduit drain failed: " << s;
     }

@@ -1,16 +1,27 @@
 // Conduit: the library's reliable, transport-agnostic message pipe to one
 // peer container. A conduit outlives the agent channel backing it: on
-// migration the channel is torn down and a new one (over the newly optimal
-// transport) is attached, while outbound messages queue — this is the
-// mechanism behind FreeFlow's transparent transport switching.
+// migration or transport failure the channel is torn down and a new one
+// (over the newly optimal transport) is attached, while outbound messages
+// queue — this is the mechanism behind FreeFlow's transparent transport
+// switching.
+//
+// Reliability across channel switches is the conduit's job, not the
+// channel's: every data message carries a sequence number, the sender
+// retains sent-but-unacked messages (on lossy transports), and on re-attach
+// the retained window is retransmitted ahead of queued messages. The
+// receiver accepts exactly the next expected sequence and drops duplicates,
+// so a failover loses nothing and never reorders.
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <memory>
+#include <utility>
 
 #include "agent/channel.h"
+#include "core/close_reason.h"
 #include "core/wire.h"
+#include "sim/event_loop.h"
 #include "tcpstack/ip.h"
 
 namespace freeflow::core {
@@ -18,6 +29,7 @@ namespace freeflow::core {
 class Conduit : public std::enable_shared_from_this<Conduit> {
  public:
   using MessageFn = std::function<void(const WireHeader&, ByteSpan)>;
+  using ClosedFn = std::function<void(CloseReason)>;
 
   Conduit(std::uint64_t token, orch::ContainerId self, orch::ContainerId peer,
           tcp::Ipv4Addr peer_ip, std::uint16_t service_port, bool initiator)
@@ -34,27 +46,57 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
   void set_on_message(MessageFn cb) { on_message_ = std::move(cb); }
   void set_on_space(std::function<void()> cb) { on_space_ = std::move(cb); }
 
-  /// Attaches (or replaces) the backing channel and drains the queue.
+  /// Attaches (or replaces) the backing channel, retransmits the unacked
+  /// window and drains the queue.
   void attach_channel(agent::ChannelPtr channel);
 
-  /// Migration: detach; sends queue until a new channel is attached.
+  /// Migration / failover: detach; sends queue until a new channel attaches.
   void mark_stale();
 
-  /// Permanent teardown (peer stopped, self stopped, app close): tells the
-  /// peer (`bye`), drops the channel, unhooks every callback and fires
-  /// on_closed exactly once. Idempotent.
-  void close();
-  /// Teardown initiated by the peer's bye: close() without echoing a bye.
-  void close_from_peer();
+  /// Orderly teardown (app close): sends `bye` and — when a sim clock is
+  /// available — waits for the peer's bye_ack up to the drain timeout
+  /// before completing. Without a clock (or channel) it completes
+  /// synchronously, preserving the fire-and-forget behaviour. Idempotent.
+  void close() { close_with(CloseReason::app_close, /*handshake=*/true); }
+  /// Teardown with an explicit reason; handshake=false skips the bye-ack
+  /// wait (used when the peer is known dead: crash, stop notifications).
+  void close_with(CloseReason reason, bool handshake);
+  /// Immediate teardown for owner destruction / container stop: completes
+  /// even mid-drain (keeping the drain's original reason), best-effort bye.
+  void force_close(CloseReason reason);
   [[nodiscard]] bool closed() const noexcept { return closed_; }
-  void set_on_closed(std::function<void()> cb) { on_closed_ = std::move(cb); }
+  /// True between close() and the bye_ack / drain timeout that completes it.
+  [[nodiscard]] bool closing() const noexcept { return closing_; }
+  [[nodiscard]] CloseReason close_reason() const noexcept { return close_reason_; }
+  void set_on_closed(ClosedFn cb) { on_closed_ = std::move(cb); }
   /// Owner hook (ContainerNet): fires last during close so the owning map
   /// can drop its reference — the conduit never points back at its owner.
   void set_on_teardown(std::function<void()> cb) { on_teardown_ = std::move(cb); }
 
+  /// Failover hook: the attached channel's transport died (lane declared
+  /// dead by the agent). The conduit detaches itself first; the observer
+  /// (ContainerNet) re-decides and splices on a fallback channel.
+  void set_on_transport_failed(std::function<void()> cb) {
+    on_transport_failed_ = std::move(cb);
+  }
+
+  /// Sim clock used for the close-handshake drain timer (ContainerNet wires
+  /// this on adoption; bare conduits stay clockless and close synchronously).
+  void set_loop(sim::EventLoop* loop) noexcept { loop_ = loop; }
+  void set_drain_timeout(SimDuration timeout_ns) noexcept {
+    drain_timeout_ns_ = timeout_ns;
+  }
+
+  /// Receiver-side resync for setup messages routed before this conduit
+  /// existed (the incoming-channel first-message tap consumes seq 1).
+  void sync_rx(std::uint64_t seq) noexcept {
+    if (seq >= rx_next_) rx_next_ = seq + 1;
+  }
+
   [[nodiscard]] bool live() const noexcept { return channel_ != nullptr; }
   [[nodiscard]] bool writable() const noexcept {
-    return channel_ != nullptr && queue_.empty() && channel_->writable();
+    return channel_ != nullptr && queue_.empty() && channel_->writable() &&
+           retained_.size() < k_max_retained;
   }
   [[nodiscard]] orch::Transport transport() const noexcept {
     return channel_ == nullptr ? orch::Transport::tcp_overlay : channel_->transport();
@@ -70,10 +112,34 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t messages_received() const noexcept { return received_; }
   [[nodiscard]] std::uint64_t rebinds() const noexcept { return rebinds_; }
+  /// Monotonic detach counter: a slow re-bind whose generation no longer
+  /// matches must abandon its freshly built channel (a newer re-bind won).
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+  [[nodiscard]] std::size_t retained_count() const noexcept { return retained_.size(); }
+  [[nodiscard]] std::size_t queued_count() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool channel_writable() const noexcept {
+    return channel_ != nullptr && channel_->writable();
+  }
+
+  /// Cumulative-ack cadence: one ack per this many received data messages.
+  static constexpr std::uint64_t k_ack_every = 16;
+  /// Sender-side retention cap; writable() deasserts at the cap.
+  static constexpr std::size_t k_max_retained = 256;
 
  private:
   void drain();
-  void do_close(bool notify_peer);
+  void retransmit_retained();
+  void handle_message(Buffer&& message);
+  void handle_ack(std::uint64_t acked_upto);
+  void handle_bye();
+  void handle_bye_ack();
+  void handle_channel_failed();
+  void maybe_ack();
+  void send_control(VMsg type, std::uint64_t ack_upto = 0);
+  void finish_close(CloseReason reason, bool notify_peer);
+  [[nodiscard]] bool should_retain() const noexcept {
+    return channel_ != nullptr && channel_->transport() != orch::Transport::shm;
+  }
 
   std::uint64_t token_;
   orch::ContainerId self_;
@@ -84,14 +150,31 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
 
   agent::ChannelPtr channel_;
   std::deque<Buffer> queue_;
+  /// Sent on a lossy channel, not yet cumulatively acked: (seq, message).
+  std::deque<std::pair<std::uint64_t, Buffer>> retained_;
   MessageFn on_message_;
   std::function<void()> on_space_;
-  std::function<void()> on_closed_;
+  ClosedFn on_closed_;
   std::function<void()> on_teardown_;
+  std::function<void()> on_transport_failed_;
+
+  sim::EventLoop* loop_ = nullptr;
+  SimDuration drain_timeout_ns_ = 5'000'000;  // 5 ms default
+  sim::EventHandle drain_timer_;
+
   bool closed_ = false;
+  bool closing_ = false;
+  CloseReason pending_reason_ = CloseReason::app_close;
+  CloseReason close_reason_ = CloseReason::app_close;
+
+  std::uint64_t tx_seq_ = 0;   ///< last assigned outbound sequence
+  std::uint64_t rx_next_ = 1;  ///< next expected inbound sequence
+  std::uint64_t since_ack_ = 0;
+
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t rebinds_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 using ConduitPtr = std::shared_ptr<Conduit>;

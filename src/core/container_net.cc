@@ -20,13 +20,29 @@ void ContainerNet::adopt_conduit(const ConduitPtr& conduit) {
   conduit->set_on_teardown([self, token = conduit->token()]() {
     if (auto net = self.lock()) net->conduits_.erase(token);
   });
+  conduit->set_loop(&loop());
+  conduit->set_drain_timeout(current_host().cost_model().close_drain_timeout_ns);
+  // Transport failure (lane declared dead by the agent): the initiator
+  // re-decides and splices on a fallback channel; the passive side waits
+  // for the initiator's rebind to arrive over the new transport.
+  conduit->set_on_transport_failed([self, weak_conduit = ConduitPtr::weak_type(conduit)]() {
+    auto net = self.lock();
+    auto c = weak_conduit.lock();
+    if (net == nullptr || c == nullptr) return;
+    net->ff_.selector().invalidate(net->id());
+    net->ff_.selector().invalidate(c->peer());
+    if (c->initiator()) net->refit_conduit(c);
+  });
 }
 
 void ContainerNet::close_all_conduits() {
   std::vector<ConduitPtr> snapshot;
   snapshot.reserve(conduits_.size());
   for (auto& [token, conduit] : conduits_) snapshot.push_back(conduit);
-  for (auto& conduit : snapshot) conduit->close();
+  // Hard close, not the bye-ack handshake: this runs from the destructor and
+  // container stop, where nothing will pump the drain to completion — a
+  // conduit parked in `closing_` would strand its channel graph forever.
+  for (auto& conduit : snapshot) conduit->force_close(CloseReason::app_close);
   conduits_.clear();
 }
 
@@ -85,8 +101,12 @@ Status ContainerNet::sock_listen(std::uint16_t port, SockAcceptFn on_accept) {
 
 void ContainerNet::open_channel_for(ConduitPtr conduit, bool rebinding,
                                     std::function<void(Status)> done) {
+  // Concurrent re-binds race (health flaps faster than channel setup): the
+  // conduit's generation stamps this attempt, and a stale winner abandons
+  // its freshly built channel instead of overriding a newer decision.
+  const std::uint64_t gen = conduit->generation();
   ff_.selector().decide(id(), conduit->peer(),
-                        [this, conduit, rebinding,
+                        [this, conduit, rebinding, gen,
                          done = std::move(done)](Result<orch::TransportDecision> d) mutable {
     if (!d.is_ok()) {
       done(d.status());
@@ -100,10 +120,15 @@ void ContainerNet::open_channel_for(ConduitPtr conduit, bool rebinding,
     }
     ff_.agents().agent_on(container_->host())
         .establish(id(), conduit->peer(), d->transport,
-                   [conduit, rebinding,
+                   [conduit, rebinding, gen,
                     done = std::move(done)](Result<agent::ChannelPtr> ch) mutable {
       if (!ch.is_ok()) {
         done(ch.status());
+        return;
+      }
+      if (conduit->closed() || (rebinding && conduit->generation() != gen)) {
+        (*ch)->close();
+        done(aborted("conduit re-bound again before channel setup finished"));
         return;
       }
       if (rebinding) {
@@ -238,6 +263,8 @@ void ContainerNet::handle_first_message(orch::ContainerId src, agent::Channel* r
       auto conduit = std::make_shared<Conduit>(
           header.token, id(), src, c ? c->ip() : tcp::Ipv4Addr{}, header.port,
           /*initiator=*/false);
+      // The routing tap consumed the peer's first sequenced message.
+      conduit->sync_rx(header.seq);
       conduit->attach_channel(std::move(channel));
       auto qp = std::make_shared<VirtualQp>(*this, conduit, create_cq(), create_cq());
       qp->bind();
@@ -261,6 +288,7 @@ void ContainerNet::handle_first_message(orch::ContainerId src, agent::Channel* r
       auto conduit = std::make_shared<Conduit>(
           header.token, id(), src, c ? c->ip() : tcp::Ipv4Addr{}, header.port,
           /*initiator=*/false);
+      conduit->sync_rx(header.seq);
       conduit->attach_channel(std::move(channel));
       auto sock = std::make_shared<FlowSocket>(*this, conduit);
       sock->bind();
@@ -280,10 +308,16 @@ void ContainerNet::handle_first_message(orch::ContainerId src, agent::Channel* r
       it->second->attach_channel(std::move(channel));
       return;
     }
-    case VMsg::bye:
+    case VMsg::bye: {
       // Peer opened a channel and tore it down before it was routed.
+      // Acknowledge so the peer's close handshake drains immediately.
+      WireHeader reply;
+      reply.type = VMsg::bye_ack;
+      reply.token = header.token;
+      channel->send(make_message(reply));
       channel->close();
       return;
+    }
     default:
       FF_LOG(warn, "core") << "unexpected first message type "
                            << static_cast<int>(header.type);
@@ -300,13 +334,53 @@ void ContainerNet::handle_self_stopped() {
   pending_incoming_.clear();
 }
 
-void ContainerNet::handle_peer_stopped(orch::ContainerId peer) {
+void ContainerNet::handle_peer_stopped(orch::ContainerId peer, CloseReason reason) {
   // Snapshot: close() fires the teardown hook, which erases from conduits_.
   std::vector<ConduitPtr> victims;
   for (auto& [token, conduit] : conduits_) {
     if (conduit->peer() == peer) victims.push_back(conduit);
   }
-  for (auto& conduit : victims) conduit->close();
+  // No handshake: the peer is gone; waiting for its bye_ack would only
+  // stall teardown until the drain timeout and mislabel the reason.
+  for (auto& conduit : victims) conduit->close_with(reason, /*handshake=*/false);
+}
+
+void ContainerNet::handle_health_event(fabric::HostId host) {
+  std::vector<ConduitPtr> snapshot;
+  snapshot.reserve(conduits_.size());
+  for (auto& [token, conduit] : conduits_) snapshot.push_back(conduit);
+  for (auto& conduit : snapshot) {
+    if (conduit->closed() || conduit->closing()) continue;
+    auto peer_loc = ff_.orchestrator().locate(conduit->peer());
+    if (!peer_loc.is_ok()) continue;
+    const bool touches =
+        peer_loc->host == host || container_->host() == host;
+    if (!touches) continue;
+    ff_.selector().invalidate(id());
+    ff_.selector().invalidate(conduit->peer());
+    // Only the initiator re-dials; the passive side splices on the rebind.
+    if (conduit->initiator()) refit_conduit(conduit);
+  }
+}
+
+void ContainerNet::refit_conduit(const ConduitPtr& conduit) {
+  auto self = weak_from_this();
+  ff_.selector().decide(id(), conduit->peer(),
+                        [self, conduit](Result<orch::TransportDecision> d) {
+    auto net = self.lock();
+    if (net == nullptr || !d.is_ok()) return;
+    if (conduit->closed() || conduit->closing()) return;
+    if (conduit->live() && conduit->transport() == d->transport) return;
+    conduit->mark_stale();
+    net->open_channel_for(conduit, /*rebinding=*/true, [](Status st) {
+      if (!st.is_ok()) {
+        // Leave the conduit stale rather than killing it: sends queue, and
+        // the next health event (e.g. link recovery) retries the splice.
+        FF_LOG(warn, "core") << "failover re-bind failed (will retry on next "
+                                "health event): " << st;
+      }
+    });
+  });
 }
 
 std::vector<ContainerNet::ConnectionInfo> ContainerNet::connections() const {
@@ -316,7 +390,9 @@ std::vector<ContainerNet::ConnectionInfo> ContainerNet::connections() const {
     if (c->closed()) continue;
     out.push_back(ConnectionInfo{c->peer(), c->peer_ip(), c->transport(),
                                  c->initiator(), c->messages_sent(),
-                                 c->messages_received(), c->rebinds()});
+                                 c->messages_received(), c->rebinds(),
+                                 c->live(), c->writable(), c->retained_count(),
+                                 c->queued_count(), c->channel_writable()});
   }
   return out;
 }

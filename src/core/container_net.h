@@ -69,8 +69,13 @@ class ContainerNet : public std::enable_shared_from_this<ContainerNet> {
   void handle_peer_moved(orch::ContainerId peer);
   /// The container stopped: unregister and permanently close every conduit.
   void handle_self_stopped();
-  /// A peer stopped: close conduits to it (sockets fire on_close, QPs err).
-  void handle_peer_stopped(orch::ContainerId peer);
+  /// A peer stopped: close conduits to it (sockets fire on_close, QPs err)
+  /// with `reason` (peer_bye for a graceful stop, host_crashed for a crash).
+  /// No close handshake — the peer is already gone.
+  void handle_peer_stopped(orch::ContainerId peer, CloseReason reason);
+  /// NIC health changed on `host`: re-decide every conduit touching it and
+  /// splice survivors onto the (possibly different) best transport.
+  void handle_health_event(fabric::HostId host);
   [[nodiscard]] bool has_conduit_to(orch::ContainerId peer) const;
 
   [[nodiscard]] std::size_t conduit_count() const noexcept { return conduits_.size(); }
@@ -84,6 +89,11 @@ class ContainerNet : public std::enable_shared_from_this<ContainerNet> {
     std::uint64_t messages_sent;
     std::uint64_t messages_received;
     std::uint64_t rebinds;
+    bool live;            ///< a channel is currently attached
+    bool writable;        ///< conduit accepts more traffic right now
+    std::size_t retained; ///< sent-but-unacked window depth
+    std::size_t queued;   ///< messages waiting for a channel
+    bool channel_writable;
   };
   [[nodiscard]] std::vector<ConnectionInfo> connections() const;
 
@@ -106,6 +116,9 @@ class ContainerNet : public std::enable_shared_from_this<ContainerNet> {
   /// Takes ownership of `conduit` in conduits_ and installs the teardown
   /// hook that drops that reference when the conduit closes.
   void adopt_conduit(const ConduitPtr& conduit);
+  /// Re-decides the transport for one (initiator-side) conduit and re-binds
+  /// it when the decision differs from what it currently rides.
+  void refit_conduit(const ConduitPtr& conduit);
   /// Closes every conduit via a snapshot (close re-enters conduits_).
   void close_all_conduits();
 

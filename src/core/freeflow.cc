@@ -19,17 +19,31 @@ FreeFlow::FreeFlow(orch::NetworkOrchestrator& orchestrator, agent::AgentConfig c
       }
     }
   });
-  // Container stops tear their connections down everywhere.
+  // Container stops tear their connections down everywhere. A stop caused
+  // by a host crash surfaces as host_crashed to the peers' close callbacks.
   orchestrator_.cluster_orch().on_stopped([this, alive](const orch::Container& stopped) {
     if (alive.expired()) return;
+    const bool crashed =
+        orchestrator_.cluster_orch().cluster().host(stopped.host()).crashed();
     auto it = nets_.find(stopped.id());
     if (it != nets_.end()) {
       it->second->handle_self_stopped();
       nets_.erase(it);
     }
+    const CloseReason reason =
+        crashed ? CloseReason::host_crashed : CloseReason::peer_bye;
     for (auto& [cid, net] : nets_) {
-      if (net->has_conduit_to(stopped.id())) net->handle_peer_stopped(stopped.id());
+      if (net->has_conduit_to(stopped.id())) net->handle_peer_stopped(stopped.id(), reason);
     }
+  });
+  // NIC health changes (telemetry or agent failure reports): every library
+  // instance with a conduit touching the changed host re-decides.
+  orchestrator_.subscribe_health([this, alive](fabric::HostId changed) {
+    if (alive.expired()) return;
+    std::vector<ContainerNetPtr> snapshot;
+    snapshot.reserve(nets_.size());
+    for (auto& [cid, net] : nets_) snapshot.push_back(net);
+    for (auto& net : snapshot) net->handle_health_event(changed);
   });
 }
 

@@ -14,12 +14,15 @@ void FlowSocket::bind() {
   conduit_->set_on_message([self](const WireHeader& h, ByteSpan payload) {
     if (auto sock = self.lock()) sock->handle_message(h, payload);
   });
-  conduit_->set_on_closed([self]() {
+  conduit_->set_on_closed([self](CloseReason reason) {
     auto sock = self.lock();
-    if (sock == nullptr || !sock->open_) return;
+    if (sock == nullptr) return;
     sock->open_ = false;
-    if (sock->on_close_) sock->on_close_();
+    // Move the handler out first: it fires at most once, even if the
+    // conduit close races a sock_fin already seen by handle_message.
+    auto handler = std::move(sock->on_close_);
     sock->release_callbacks();
+    if (handler) handler(reason);
   });
 }
 
@@ -50,10 +53,12 @@ void FlowSocket::close() {
   h.type = VMsg::sock_fin;
   conduit_->send(h);
   open_ = false;
+  on_data_ = nullptr;
   // The fin is queued ahead of the conduit's bye, so the peer sees an
-  // orderly close before its side of the conduit is torn down.
+  // orderly close before its side of the conduit is torn down. on_close_
+  // stays armed: it reports the handshake's outcome (app_close once the
+  // peer acks the bye, drain_timeout if it never does).
   conduit_->close();
-  release_callbacks();
 }
 
 void FlowSocket::handle_message(const WireHeader& h, ByteSpan payload) {
@@ -66,7 +71,7 @@ void FlowSocket::handle_message(const WireHeader& h, ByteSpan payload) {
       open_ = false;
       // Copy: the handler may reset callbacks or drop this socket.
       auto handler = on_close_;
-      if (handler) handler();
+      if (handler) handler(CloseReason::peer_bye);
       release_callbacks();
       return;
     }

@@ -16,6 +16,7 @@ class FlowSocket : public std::enable_shared_from_this<FlowSocket> {
  public:
   using DataFn = std::function<void(Buffer&&)>;
   using VoidFn = std::function<void()>;
+  using CloseFn = std::function<void(CloseReason)>;
 
   FlowSocket(ContainerNet& net, ConduitPtr conduit);
 
@@ -30,7 +31,10 @@ class FlowSocket : public std::enable_shared_from_this<FlowSocket> {
 
   void set_on_data(DataFn cb) { on_data_ = std::move(cb); }
   void set_on_space(VoidFn cb);
-  void set_on_close(VoidFn cb) { on_close_ = std::move(cb); }
+  /// Fires once when the stream closes from anywhere but local close():
+  /// orderly fin (peer_bye), fault teardown (transport_failed /
+  /// host_crashed), or a close handshake that timed out (drain_timeout).
+  void set_on_close(CloseFn cb) { on_close_ = std::move(cb); }
 
   void close();
 
@@ -58,7 +62,7 @@ class FlowSocket : public std::enable_shared_from_this<FlowSocket> {
   ConduitPtr conduit_;
   bool open_ = true;
   DataFn on_data_;
-  VoidFn on_close_;
+  CloseFn on_close_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
 };

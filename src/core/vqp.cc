@@ -21,9 +21,10 @@ void VirtualQp::bind() {
   conduit_->set_on_message([self](const WireHeader& h, ByteSpan payload) {
     if (auto qp = self.lock()) qp->handle_message(h, payload);
   });
-  conduit_->set_on_closed([self]() {
+  conduit_->set_on_closed([self](CloseReason reason) {
     auto qp = self.lock();
     if (qp == nullptr) return;
+    qp->close_reason_ = reason;
     // Pending reads and posted receives flush with an error completion,
     // mirroring a hardware QP transitioning to the error state.
     for (auto& [id, wr] : qp->pending_reads_) {

@@ -39,6 +39,9 @@ class VirtualQp : public std::enable_shared_from_this<VirtualQp> {
   /// the teardown propagates to the peer QP over the conduit.
   void close() { conduit_->close(); }
 
+  /// Why the conduit under this QP went down (meaningful once closed).
+  [[nodiscard]] CloseReason close_reason() const noexcept { return close_reason_; }
+
   /// ContainerNet-internal: wires the conduit's messages to this QP.
   void bind();
 
@@ -55,6 +58,7 @@ class VirtualQp : public std::enable_shared_from_this<VirtualQp> {
   std::deque<Buffer> rx_backlog_;  ///< sends that arrived before a recv
   std::unordered_map<std::uint64_t, rdma::SendWr> pending_reads_;
   std::uint64_t next_req_id_ = 1;
+  CloseReason close_reason_ = CloseReason::app_close;
 };
 
 using VirtualQpPtr = std::shared_ptr<VirtualQp>;

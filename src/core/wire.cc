@@ -13,6 +13,7 @@ void WireHeader::encode(std::byte* out) const noexcept {
   std::memcpy(out + 16, &id, 8);
   std::memcpy(out + 24, &offset, 8);
   std::memcpy(out + 32, &token, 8);
+  std::memcpy(out + 40, &seq, 8);
 }
 
 WireHeader WireHeader::decode(const std::byte* in) noexcept {
@@ -24,6 +25,7 @@ WireHeader WireHeader::decode(const std::byte* in) noexcept {
   std::memcpy(&h.id, in + 16, 8);
   std::memcpy(&h.offset, in + 24, 8);
   std::memcpy(&h.token, in + 32, 8);
+  std::memcpy(&h.seq, in + 40, 8);
   return h;
 }
 

@@ -27,6 +27,8 @@ enum class VMsg : std::uint8_t {
   rebind,        ///< migration: this channel replaces conduit `token`
   mpi_data,      ///< MPI point-to-point payload (tag in `offset`)
   bye,           ///< teardown: the sending side closed conduit `token`
+  bye_ack,       ///< close handshake: bye received, drain complete
+  ack,           ///< conduit ARQ: cumulative receive ack (highest seq in `id`)
 };
 
 struct WireHeader {
@@ -37,8 +39,9 @@ struct WireHeader {
   std::uint64_t id = 0;         ///< wr_id / request id
   std::uint64_t offset = 0;     ///< MR offset (verbs) or MPI tag
   std::uint64_t token = 0;      ///< conduit token (setup/rebind)
+  std::uint64_t seq = 0;        ///< conduit ARQ sequence (0 = unsequenced)
 
-  static constexpr std::size_t k_size = 40;
+  static constexpr std::size_t k_size = 48;
 
   void encode(std::byte* out) const noexcept;
   static WireHeader decode(const std::byte* in) noexcept;

@@ -42,6 +42,15 @@ class Host {
   }
   [[nodiscard]] bool is_vm() const noexcept { return physical_machine_.has_value(); }
 
+  /// Fault injection: a crashed host takes its NIC link down with it. The
+  /// flag lets upper layers distinguish a crash (peers close with
+  /// CloseReason::host_crashed) from a graceful container stop.
+  void set_crashed(bool crashed) noexcept {
+    crashed_ = crashed;
+    nic_.set_link_up(!crashed);
+  }
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
  private:
   sim::EventLoop& loop_;
   const sim::CostModel& model_;
@@ -51,6 +60,7 @@ class Host {
   sim::Resource membus_;
   Nic nic_;
   std::optional<HostId> physical_machine_;
+  bool crashed_ = false;
 };
 
 }  // namespace freeflow::fabric

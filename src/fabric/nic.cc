@@ -15,21 +15,45 @@ Nic::Nic(sim::EventLoop& loop, const sim::CostModel& model, HostId host,
       processor_(loop, "nic_proc", model.nic_proc_rate, 1),
       tx_link_(loop, "nic_tx", caps.line_rate_gbps * 1e9 / 8.0, 1) {}
 
+void Nic::set_rate_fraction(double fraction) noexcept {
+  // A fully dead serializer is modeled as link-down, not as a divide-by-zero.
+  health_.rate_fraction = fraction < 1e-3 ? 1e-3 : fraction;
+}
+
+bool Nic::would_drop(PacketKind kind) const noexcept {
+  if (!health_.link_up) return true;
+  if (!health_.rdma_up && kind == PacketKind::rdma_chunk) return true;
+  if (!health_.dpdk_up && kind == PacketKind::dpdk_frame) return true;
+  return false;
+}
+
+void Nic::drop(PacketKind kind) {
+  ++dropped_packets_;
+  if (on_drop_) on_drop_(kind);
+}
+
 void Nic::send(PacketPtr packet) {
   FF_CHECK(packet != nullptr);
   packet->src_host = host_;
+  if (would_drop(packet->kind)) {
+    drop(packet->kind);
+    return;
+  }
   ++tx_packets_;
   tx_bytes_ += packet->wire_bytes;
 
+  // A degraded NIC serializes slower: the same bytes occupy the tx link for
+  // 1/rate_fraction as long, which shows up as reduced goodput downstream.
+  const double units =
+      static_cast<double>(packet->wire_bytes) / health_.rate_fraction;
+
   if (packet->dst_host == host_) {
     // NIC-internal hairpin: serialization at line rate, no switch traversal.
-    tx_link_.submit(static_cast<double>(packet->wire_bytes),
-                    [this, packet]() { deliver(packet); });
+    tx_link_.submit(units, [this, packet]() { deliver(packet); });
     return;
   }
   FF_CHECK(tor_ != nullptr);
-  tx_link_.submit(static_cast<double>(packet->wire_bytes),
-                  [this, packet]() { tor_->forward(packet); },
+  tx_link_.submit(units, [this, packet]() { tor_->forward(packet); },
                   /*account=*/nullptr, model_.link_prop_ns);
 }
 
@@ -38,6 +62,12 @@ void Nic::set_rx_handler(PacketKind kind, std::function<void(PacketPtr)> handler
 }
 
 void Nic::deliver(PacketPtr packet) {
+  if (would_drop(packet->kind)) {
+    // Rx-side fault (e.g. the receiver's RDMA engine died while packets were
+    // in flight): the bytes made it across the wire but nobody home.
+    drop(packet->kind);
+    return;
+  }
   ++rx_packets_;
   rx_bytes_ += packet->wire_bytes;
   auto& handler = rx_handlers_[static_cast<std::size_t>(packet->kind)];

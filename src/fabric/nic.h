@@ -23,6 +23,22 @@ struct NicCapabilities {
   double line_rate_gbps = 40.0;
 };
 
+/// Live health of a NIC, mutated by the fault injector. Faults are modeled
+/// per capability: an RDMA engine death drops only rdma_chunk packets, so
+/// the kernel path (and the control plane) keeps working — which is exactly
+/// what makes a transport fallback possible. A link-down drops everything.
+struct NicHealth {
+  bool link_up = true;
+  bool rdma_up = true;
+  bool dpdk_up = true;
+  /// Fraction of line rate the NIC can still serialize at (degradation).
+  double rate_fraction = 1.0;
+
+  [[nodiscard]] bool healthy() const noexcept {
+    return link_up && rdma_up && dpdk_up && rate_fraction >= 1.0;
+  }
+};
+
 class Nic {
  public:
   Nic(sim::EventLoop& loop, const sim::CostModel& model, HostId host,
@@ -33,6 +49,25 @@ class Nic {
 
   [[nodiscard]] HostId host() const noexcept { return host_; }
   [[nodiscard]] const NicCapabilities& capabilities() const noexcept { return caps_; }
+
+  /// Fault-injection surface. Setters mutate live health; the injector is
+  /// responsible for pushing the new state to the orchestrator (telemetry
+  /// has its own detection latency — the NIC itself tells nobody).
+  [[nodiscard]] const NicHealth& health() const noexcept { return health_; }
+  void set_link_up(bool up) noexcept { health_.link_up = up; }
+  void set_rdma_up(bool up) noexcept { health_.rdma_up = up; }
+  void set_dpdk_up(bool up) noexcept { health_.dpdk_up = up; }
+  /// Degrades serialization to `fraction` of line rate (1.0 restores).
+  void set_rate_fraction(double fraction) noexcept;
+
+  /// True if the current health state would discard a packet of `kind`.
+  [[nodiscard]] bool would_drop(PacketKind kind) const noexcept;
+
+  /// Observer for dropped packets (tx or rx side): the local agent uses
+  /// this as its send-error signal for instant lane-failure detection.
+  void set_on_drop(std::function<void(PacketKind)> cb) { on_drop_ = std::move(cb); }
+
+  [[nodiscard]] std::uint64_t dropped_packets() const noexcept { return dropped_packets_; }
 
   /// The on-NIC processor; the RDMA engine charges per-packet work here.
   [[nodiscard]] sim::Resource& processor() noexcept { return processor_; }
@@ -62,17 +97,22 @@ class Nic {
  private:
   sim::EventLoop& loop_;
   const sim::CostModel& model_;
+  void drop(PacketKind kind);
+
   HostId host_;
   NicCapabilities caps_;
+  NicHealth health_;
   sim::Resource processor_;
   sim::Resource tx_link_;
   Switch* tor_ = nullptr;
   std::array<std::function<void(PacketPtr)>, 4> rx_handlers_{};
+  std::function<void(PacketKind)> on_drop_;
 
   std::uint64_t tx_packets_ = 0;
   std::uint64_t rx_packets_ = 0;
   std::uint64_t tx_bytes_ = 0;
   std::uint64_t rx_bytes_ = 0;
+  std::uint64_t dropped_packets_ = 0;
 };
 
 }  // namespace freeflow::fabric

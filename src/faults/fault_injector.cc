@@ -1,0 +1,127 @@
+#include "faults/fault_injector.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "fabric/cluster.h"
+
+namespace freeflow::faults {
+
+FaultInjector::FaultInjector(orch::NetworkOrchestrator& orchestrator,
+                             agent::AgentFabric& agents)
+    : orchestrator_(orchestrator), agents_(agents) {}
+
+FaultInjector::~FaultInjector() = default;
+
+sim::EventLoop& FaultInjector::loop() {
+  return orchestrator_.cluster_orch().cluster().loop();
+}
+
+fabric::Host& FaultInjector::host(fabric::HostId id) {
+  return orchestrator_.cluster_orch().cluster().host(id);
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  const SimTime now = loop().now();
+  std::weak_ptr<bool> alive = alive_;
+  for (const FaultEvent& event : plan.events()) {
+    const SimDuration delay = event.at > now ? event.at - now : 0;
+    loop().schedule(delay, [this, alive, event]() {
+      if (alive.expired()) return;
+      apply(event);
+    });
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  fabric::Host& h = host(event.host);
+  switch (event.kind) {
+    case FaultKind::nic_link_down:
+      h.nic().set_link_up(false);
+      break;
+    case FaultKind::nic_link_up:
+      h.nic().set_link_up(true);
+      break;
+    case FaultKind::rdma_down:
+      h.nic().set_rdma_up(false);
+      break;
+    case FaultKind::rdma_up:
+      h.nic().set_rdma_up(true);
+      break;
+    case FaultKind::dpdk_down:
+      h.nic().set_dpdk_up(false);
+      break;
+    case FaultKind::dpdk_up:
+      h.nic().set_dpdk_up(true);
+      break;
+    case FaultKind::nic_degrade:
+      h.nic().set_rate_fraction(event.fraction);
+      break;
+    case FaultKind::nic_restore:
+      h.nic().set_rate_fraction(1.0);
+      break;
+    case FaultKind::host_crash:
+      crash_host(event.host);
+      break;
+    case FaultKind::agent_pause:
+      agents_.agent_on(event.host).set_paused(true);
+      break;
+    case FaultKind::agent_resume:
+      agents_.agent_on(event.host).set_paused(false);
+      break;
+  }
+  record(event);
+  // Agent pauses are invisible to fabric telemetry (the NIC is fine); all
+  // other faults surface in the orchestrator's health map after the modeled
+  // detection latency.
+  if (event.kind != FaultKind::agent_pause && event.kind != FaultKind::agent_resume) {
+    push_telemetry(event.host);
+  }
+}
+
+void FaultInjector::crash_host(fabric::HostId id) {
+  // Order matters: mark the host crashed first so the stop notifications
+  // surface as host_crashed (not peer_bye) to every peer's close callback.
+  fabric::Host& h = host(id);
+  h.set_crashed(true);
+  auto& cluster_orch = orchestrator_.cluster_orch();
+  for (const auto& container : cluster_orch.containers_on(id)) {
+    const Status st = cluster_orch.stop(container->id());
+    if (!st.is_ok()) {
+      FF_LOG(warn, "faults") << "stopping container " << container->id()
+                             << " on crashed host: " << st;
+    }
+  }
+}
+
+void FaultInjector::push_telemetry(fabric::HostId id) {
+  std::weak_ptr<bool> alive = alive_;
+  const SimDuration detect =
+      orchestrator_.cluster_orch().cluster().cost_model().fault_detect_ns;
+  // Health is sampled when telemetry *fires*, not when the fault happened —
+  // a flap shorter than the detection latency is never seen broken, exactly
+  // like a polled monitoring pipeline.
+  loop().schedule(detect, [this, alive, id]() {
+    if (alive.expired()) return;
+    orchestrator_.update_nic_health(id, host(id).nic().health());
+  });
+}
+
+void FaultInjector::record(const FaultEvent& event) {
+  ++applied_;
+  char line[128];
+  if (event.kind == FaultKind::nic_degrade) {
+    std::snprintf(line, sizeof(line), "t=%" PRId64 " host=%u %s frac=%.3f\n",
+                  loop().now(), event.host, fault_kind_name(event.kind),
+                  event.fraction);
+  } else {
+    std::snprintf(line, sizeof(line), "t=%" PRId64 " host=%u %s\n", loop().now(),
+                  event.host, fault_kind_name(event.kind));
+  }
+  trace_ += line;
+  FF_LOG(info, "faults") << "applied " << fault_kind_name(event.kind) << " on host "
+                         << event.host;
+}
+
+}  // namespace freeflow::faults

@@ -1,0 +1,58 @@
+// Executes a FaultPlan against the live cluster on the simulation clock.
+// The injector is the only component allowed to mutate fabric health: it
+// flips NIC/link state, crashes hosts (stopping their containers), pauses
+// agents — and, after the modeled telemetry latency (fault_detect_ns),
+// pushes the observed NIC health to the orchestrator, whose health
+// callbacks then drive transport re-decisions everywhere.
+//
+// Every applied event is appended to a text trace; two runs of the same
+// seeded simulation with the same plan must produce byte-identical traces
+// (the determinism tests diff them).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "agent/agent.h"
+#include "faults/fault_plan.h"
+#include "orchestrator/network_orchestrator.h"
+
+namespace freeflow::faults {
+
+class FaultInjector {
+ public:
+  FaultInjector(orch::NetworkOrchestrator& orchestrator, agent::AgentFabric& agents);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every event of `plan` on the event loop (times are absolute;
+  /// events already in the past fire immediately). May be called repeatedly
+  /// to layer plans.
+  void arm(const FaultPlan& plan);
+
+  /// Applies one event right now (tests drive single faults through this).
+  void apply(const FaultEvent& event);
+
+  [[nodiscard]] std::size_t faults_applied() const noexcept { return applied_; }
+  /// One line per applied event, in application order.
+  [[nodiscard]] const std::string& trace_text() const noexcept { return trace_; }
+
+ private:
+  sim::EventLoop& loop();
+  fabric::Host& host(fabric::HostId id);
+  /// Models fabric telemetry: after fault_detect_ns, reports the NIC health
+  /// *as observed at that later time* to the orchestrator.
+  void push_telemetry(fabric::HostId id);
+  void crash_host(fabric::HostId id);
+  void record(const FaultEvent& event);
+
+  orch::NetworkOrchestrator& orchestrator_;
+  agent::AgentFabric& agents_;
+  std::string trace_;
+  std::size_t applied_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace freeflow::faults

@@ -1,5 +1,7 @@
 #include "orchestrator/network_orchestrator.h"
 
+#include "common/logging.h"
+
 namespace freeflow::orch {
 
 namespace {
@@ -67,16 +69,34 @@ TransportDecision NetworkOrchestrator::decide(const Container& src,
   const fabric::Host& sh = cluster_.cluster().host(src.host());
   const fabric::Host& dh = cluster_.cluster().host(dst.host());
 
+  // The effective capability of each end is the static NIC mask folded with
+  // the last-reported live health: a dead RDMA engine removes rdma from the
+  // decision until telemetry reports recovery. Degradation (rate_fraction)
+  // deliberately does not shift the decision — a slow NIC slows every
+  // transport through it equally.
+  const fabric::NicHealth& s_health = nic_health(src.host());
+  const fabric::NicHealth& d_health = nic_health(dst.host());
+
+  if (!s_health.link_up || !d_health.link_up) {
+    // Nothing traverses a downed link; pick the transport that can ride out
+    // the outage (kernel TCP retransmits) and let re-decision upgrade later.
+    d.transport = Transport::tcp_host;
+    d.reason = "NIC link down: TCP holds the connection through the outage";
+    return d;
+  }
+
   // VMs on the same physical machine (deployment case c with two VMs):
   // the paper defers the NetVM-style fast path to future work, so FreeFlow
   // still routes via the NIC — which the hairpin makes equivalent to the
   // inter-host decision below.
-  if (sh.nic().capabilities().rdma && dh.nic().capabilities().rdma) {
+  if (sh.nic().capabilities().rdma && dh.nic().capabilities().rdma &&
+      s_health.rdma_up && d_health.rdma_up) {
     d.transport = Transport::rdma;
     d.reason = "different hosts, RDMA-capable NICs";
     return d;
   }
-  if (sh.nic().capabilities().dpdk && dh.nic().capabilities().dpdk) {
+  if (sh.nic().capabilities().dpdk && dh.nic().capabilities().dpdk &&
+      s_health.dpdk_up && d_health.dpdk_up) {
     d.transport = Transport::dpdk;
     d.reason = "no RDMA; DPDK kernel bypass";
     return d;
@@ -115,6 +135,40 @@ void NetworkOrchestrator::query_location(ContainerId id,
 
 void NetworkOrchestrator::subscribe_moves(LocationFn fn) {
   move_subscribers_.push_back(std::move(fn));
+}
+
+// ---------------------------------------------------------- health state
+
+void NetworkOrchestrator::update_nic_health(fabric::HostId host,
+                                            const fabric::NicHealth& health) {
+  health_[host] = health;
+  notify_health(host);
+}
+
+const fabric::NicHealth& NetworkOrchestrator::nic_health(fabric::HostId host) const {
+  static const fabric::NicHealth k_healthy{};
+  auto it = health_.find(host);
+  return it == health_.end() ? k_healthy : it->second;
+}
+
+void NetworkOrchestrator::subscribe_health(HealthFn fn) {
+  health_subscribers_.push_back(std::move(fn));
+}
+
+void NetworkOrchestrator::report_lane_failure(fabric::HostId reporter,
+                                              fabric::HostId peer, Transport transport) {
+  ++lane_failure_reports_;
+  FF_LOG(info, "orch") << "lane failure report: host " << reporter << " -> host "
+                       << peer << " over " << transport_name(transport);
+  // Both ends re-evaluate; decide() folds whatever telemetry already knows.
+  notify_health(reporter);
+  if (peer != reporter) notify_health(peer);
+}
+
+void NetworkOrchestrator::notify_health(fabric::HostId host) {
+  // Snapshot: a subscriber's re-decision may subscribe more (new agents).
+  const std::size_t n = health_subscribers_.size();
+  for (std::size_t i = 0; i < n; ++i) health_subscribers_[i](host);
 }
 
 }  // namespace freeflow::orch

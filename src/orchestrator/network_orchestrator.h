@@ -38,6 +38,7 @@ struct TransportDecision {
 class NetworkOrchestrator {
  public:
   using LocationFn = std::function<void(const Container&)>;
+  using HealthFn = std::function<void(fabric::HostId)>;
 
   explicit NetworkOrchestrator(ClusterOrchestrator& cluster_orch);
 
@@ -75,6 +76,28 @@ class NetworkOrchestrator {
   /// channels after migration).
   void subscribe_moves(LocationFn fn);
 
+  // ---- live health state (fault tolerance) ------------------------------
+  /// Telemetry ingest: the fabric's monitoring (modeled by the fault
+  /// injector) reports a host NIC's live health. decide() folds this over
+  /// the static capability mask, and every health subscriber is notified so
+  /// affected agents can re-decide their conduits.
+  void update_nic_health(fabric::HostId host, const fabric::NicHealth& health);
+  [[nodiscard]] const fabric::NicHealth& nic_health(fabric::HostId host) const;
+
+  /// Re-decision callback: fired with the host whose health state changed.
+  void subscribe_health(HealthFn fn);
+
+  /// Agent-side failure report (missed heartbeats, send errors): converges
+  /// faster than telemetry when the fault is on the reporting path. The
+  /// report does not overwrite telemetry (a healthy peer must not be exiled
+  /// by a confused reporter) — it re-fires the health subscribers for both
+  /// ends so they re-evaluate against current truth.
+  void report_lane_failure(fabric::HostId reporter, fabric::HostId peer,
+                           Transport transport);
+  [[nodiscard]] std::uint64_t lane_failure_reports() const noexcept {
+    return lane_failure_reports_;
+  }
+
   [[nodiscard]] ClusterOrchestrator& cluster_orch() noexcept { return cluster_; }
 
   /// Effective physical machine of a host: itself, or the machine under a
@@ -82,10 +105,16 @@ class NetworkOrchestrator {
   [[nodiscard]] fabric::HostId physical_machine(fabric::HostId host) const;
 
  private:
+  void notify_health(fabric::HostId host);
+
   ClusterOrchestrator& cluster_;
   bool allow_trade_ = true;
   std::unordered_set<std::uint64_t> tenant_trust_;
   std::vector<LocationFn> move_subscribers_;
+  std::vector<HealthFn> health_subscribers_;
+  /// Last reported NIC health per host; absent means healthy.
+  std::unordered_map<fabric::HostId, fabric::NicHealth> health_;
+  std::uint64_t lane_failure_reports_ = 0;
 };
 
 }  // namespace freeflow::orch

@@ -96,6 +96,14 @@ struct CostModel {
   SimDuration orchestrator_rpc_ns = 50 * k_microsecond;  ///< location query RTT
   SimDuration location_cache_ttl_ns = 500 * k_millisecond;
 
+  // ---- Fault tolerance --------------------------------------------------
+  /// Fabric telemetry latency: time from a NIC fault to the orchestrator's
+  /// health map reflecting it (and re-decision callbacks firing).
+  SimDuration fault_detect_ns = 200 * k_microsecond;
+  /// Close handshake: how long a closing conduit waits for the peer's
+  /// bye_ack before giving up (CloseReason::drain_timeout).
+  SimDuration close_drain_timeout_ns = 5 * k_millisecond;
+
   [[nodiscard]] double nic_line_bytes_per_sec() const noexcept {
     return nic_line_gbps * 1e9 / 8.0;
   }

@@ -26,6 +26,15 @@ void Resource::submit(double units, DoneFn on_done, UsageAccount* account,
   const SimDuration svc = service_time(units);
   const SimTime done = start + svc;
   *it = done;
+  if (!on_done && extra_delay == 0) {
+    // Fire-and-forget (utilization charges, bus coupling): nobody observes
+    // the completion, so account eagerly and skip the event entirely. The
+    // server stays occupied via free_at_, which is all later jobs see.
+    busy_ns_ += static_cast<double>(svc);
+    ++jobs_served_;
+    if (account != nullptr) account->busy_ns += static_cast<double>(svc);
+    return;
+  }
   loop_.schedule_at(done + extra_delay,
                     [this, svc, account, cb = std::move(on_done)]() mutable {
                       busy_ns_ += static_cast<double>(svc);
@@ -58,6 +67,22 @@ double Resource::cores_busy_since_mark() const noexcept {
 
 void SerialExecutor::submit(double units, DoneFn done, UsageAccount* account,
                             Resource* bus, double bus_bytes) {
+  // Wakeup batching: a queued completion-less job with no bus coupling is
+  // pure serial work, so the new job folds into it instead of paying
+  // another pool round-trip (one completion event serves both). The merged
+  // job inherits the new completion, which fires after both units of work —
+  // exactly what FIFO ordering promised anyway.
+  if (!queue_.empty()) {
+    Job& back = queue_.back();
+    if (!back.done && back.bus == nullptr && bus == nullptr &&
+        back.account == account) {
+      back.units += units;
+      back.done = std::move(done);
+      back.bus_bytes = bus_bytes;
+      ++coalesced_;
+      return;
+    }
+  }
   queue_.push_back(Job{units, std::move(done), account, bus, bus_bytes});
   if (!busy_) start_next();
 }

@@ -87,7 +87,7 @@ TEST(ConduitUnit, QueuesUntilChannelAttached) {
 TEST(ConduitUnit, CloseFiresOnceAndDropsTraffic) {
   Conduit conduit(1, 10, 20, tcp::Ipv4Addr(10, 0, 0, 1), 80, true);
   int closed = 0;
-  conduit.set_on_closed([&]() { ++closed; });
+  conduit.set_on_closed([&](CloseReason) { ++closed; });
   conduit.close();
   conduit.close();  // idempotent
   EXPECT_EQ(closed, 1);
@@ -197,9 +197,14 @@ TEST_F(CoreFixture, SocketCloseNotifiesPeer) {
   auto p = make_pair(env, true);
   auto [client, server] = socket_pair(env, p, 5000);
   bool closed = false;
-  server->set_on_close([&]() { closed = true; });
+  CloseReason reason{};
+  server->set_on_close([&](CloseReason r) {
+    reason = r;
+    closed = true;
+  });
   client->close();
   EXPECT_TRUE(env.wait([&]() { return closed; }));
+  EXPECT_EQ(reason, CloseReason::peer_bye);
   EXPECT_FALSE(server->is_open());
   EXPECT_EQ(client->send(Buffer(1)).code(), Errc::failed_precondition);
 }
@@ -615,10 +620,15 @@ TEST_F(CoreFixture, PeerStopClosesSockets) {
   auto p = make_pair(env, false);
   auto [client, server] = socket_pair(env, p, 5000);
   bool closed = false;
-  client->set_on_close([&]() { closed = true; });
+  CloseReason reason{};
+  client->set_on_close([&](CloseReason r) {
+    reason = r;
+    closed = true;
+  });
 
   ASSERT_TRUE(env.cluster_orch->stop(p.b->id()).is_ok());
   EXPECT_TRUE(env.wait([&]() { return closed; }));
+  EXPECT_EQ(reason, CloseReason::peer_bye);
   EXPECT_FALSE(client->is_open());
   EXPECT_EQ(client->send(Buffer(10)).code(), Errc::failed_precondition);
   EXPECT_EQ(p.net_a->conduit_count(), 0u);

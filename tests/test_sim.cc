@@ -244,11 +244,27 @@ TEST(Resource, UtilizationOverWindow) {
   Resource r(loop, "cpu", 1e9, 2);
   r.mark();
   // One of two servers busy for the whole window: 50 % utilization.
-  r.submit(10000, nullptr);
+  bool finished = false;
+  r.submit(10000, [&]() { finished = true; });
   loop.run();
+  EXPECT_TRUE(finished);
   EXPECT_EQ(loop.now(), 10000);
   EXPECT_NEAR(r.utilization_since_mark(), 0.5, 1e-9);
   EXPECT_NEAR(r.cores_busy_since_mark(), 1.0, 1e-9);
+}
+
+TEST(Resource, FireAndForgetSkipsTheCompletionEvent) {
+  EventLoop loop;
+  Resource r(loop, "cpu", 1e9, 1);
+  // No completion, no extra delay: accounting is eager and no event is
+  // scheduled, so the loop has nothing to run...
+  r.submit(10000, nullptr);
+  EXPECT_EQ(r.jobs_served(), 1u);
+  EXPECT_NEAR(r.busy_ns_total(), 10000.0, 1e-9);
+  loop.run();
+  EXPECT_EQ(loop.now(), 0);
+  // ...but the server occupancy still queues later jobs behind it.
+  EXPECT_EQ(r.backlog_ns(), 10000);
 }
 
 TEST(Resource, BacklogReflectsQueuedWork) {

@@ -64,13 +64,20 @@ TEST(ConduitTeardown, PeerCloseAfterLocalCloseIsIdempotent) {
   Conduit conduit(1, 10, 20, tcp::Ipv4Addr(10, 0, 0, 1), 80, true);
   int closed = 0;
   int torn_down = 0;
-  conduit.set_on_closed([&]() { ++closed; });
+  CloseReason reason{};
+  conduit.set_on_closed([&](CloseReason r) {
+    reason = r;
+    ++closed;
+  });
   conduit.set_on_teardown([&]() { ++torn_down; });
   conduit.close();
-  conduit.close_from_peer();  // late bye from the wire: must be a no-op
+  // Late bye from the wire after the local close: must be a no-op.
+  conduit.close_with(CloseReason::peer_bye, /*handshake=*/false);
   conduit.close();
   EXPECT_EQ(closed, 1);
   EXPECT_EQ(torn_down, 1);
+  EXPECT_EQ(reason, CloseReason::app_close);
+  EXPECT_EQ(conduit.close_reason(), CloseReason::app_close);
 }
 
 TEST_F(TeardownFixture, DoubleCloseIsIdempotentOnEverySurface) {
@@ -103,7 +110,11 @@ TEST_F(TeardownFixture, OneSidedCloseTearsDownBothEnds) {
   EXPECT_EQ(p.net_b->conduit_count(), 1u);
 
   bool server_saw_close = false;
-  server->set_on_close([&]() { server_saw_close = true; });
+  CloseReason server_reason{};
+  server->set_on_close([&](CloseReason r) {
+    server_reason = r;
+    server_saw_close = true;
+  });
   client->close();
 
   // The bye must reach the passive side and erase the conduit from BOTH
@@ -113,6 +124,48 @@ TEST_F(TeardownFixture, OneSidedCloseTearsDownBothEnds) {
            p.net_b->conduit_count() == 0;
   }));
   EXPECT_FALSE(server->is_open());
+  EXPECT_EQ(server_reason, CloseReason::peer_bye);
+}
+
+// The bye/bye_ack handshake times out against an unresponsive peer: freeze
+// the remote agent (records buffer, nothing is acked) and close. The drain
+// timer must fire on the sim clock and report drain_timeout — not hang, and
+// not pretend the close was acknowledged.
+TEST_F(TeardownFixture, UnresponsivePeerYieldsDrainTimeout) {
+  Env env(2);
+  auto p = make_pair(env, /*same_host=*/false);
+  auto [client, server] = socket_pair(env, p, 6000);
+
+  env.freeflow().agents().agent_on(1).set_paused(true);
+  bool closed = false;
+  CloseReason reason{};
+  client->set_on_close([&](CloseReason r) {
+    reason = r;
+    closed = true;
+  });
+  client->close();
+  EXPECT_TRUE(env.wait([&]() { return closed; }, 1 * k_second));
+  EXPECT_EQ(reason, CloseReason::drain_timeout);
+  EXPECT_EQ(p.net_a->conduit_count(), 0u);
+  env.freeflow().agents().agent_on(1).set_paused(false);
+}
+
+// A graceful handshake completes before the drain timeout: the closer's own
+// callback reports app_close only after the peer acked the bye.
+TEST_F(TeardownFixture, GracefulCloseReportsAppClose) {
+  Env env(2);
+  auto p = make_pair(env, /*same_host=*/false);
+  auto [client, server] = socket_pair(env, p, 6000);
+
+  bool closed = false;
+  CloseReason reason{};
+  client->set_on_close([&](CloseReason r) {
+    reason = r;
+    closed = true;
+  });
+  client->close();
+  EXPECT_TRUE(env.wait([&]() { return closed; }));
+  EXPECT_EQ(reason, CloseReason::app_close);
 }
 
 // ------------------------------------------------------- close with inflight
