@@ -43,6 +43,12 @@ class JsonReport {
     metrics_.emplace_back(std::move(key), value);
   }
 
+  /// Embeds a pre-rendered JSON value (e.g. a telemetry registry snapshot)
+  /// as a top-level sibling of "metrics". The caller owns well-formedness.
+  void add_raw(std::string key, std::string raw_json) {
+    raw_.emplace_back(std::move(key), std::move(raw_json));
+  }
+
   ~JsonReport() { flush(); }
 
   void flush() {
@@ -58,7 +64,11 @@ class JsonReport {
       std::fprintf(f, "%s\n    \"%s\": %.6g", i == 0 ? "" : ",",
                    metrics_[i].first.c_str(), metrics_[i].second);
     }
-    std::fprintf(f, "\n  }\n}\n");
+    std::fprintf(f, "\n  }");
+    for (const auto& [key, raw] : raw_) {
+      std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), raw.c_str());
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("json report: %s\n", path_.c_str());
   }
@@ -67,6 +77,7 @@ class JsonReport {
   std::string name_;
   std::string path_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> raw_;
   bool flushed_ = false;
 };
 

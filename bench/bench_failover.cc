@@ -28,13 +28,18 @@ struct EdgeResult {
   double blackout_ms = 0;
   double fallback_gbps = 0;
   bool recovered = false;
+  std::uint64_t retransmits = 0;      ///< client-conduit, per its own counter
+  double conduit_blackout_ms = 0;     ///< client-conduit detached time
+  std::string telemetry_snapshot;     ///< registry JSON at end of edge
 };
 
 /// One failover edge: stream over `from`, kill it on host 1, ride `to`,
-/// heal, and expect the conduit back on `from`.
+/// heal, and expect the conduit back on `from`. A non-empty `trace_path`
+/// exports the edge's Chrome trace (fault markers + failover spans).
 EdgeResult run_edge(const char* label, fabric::NicCapabilities caps,
                     orch::Transport from, orch::Transport to,
-                    faults::FaultKind kill, faults::FaultKind heal) {
+                    faults::FaultKind kill, faults::FaultKind heal,
+                    const std::string& trace_path = {}) {
   constexpr SimDuration k_window = 10 * k_millisecond;
   EdgeResult r;
   FreeFlowRig rig(/*inter_host=*/true, {}, caps);
@@ -103,6 +108,29 @@ EdgeResult run_edge(const char* label, fabric::NicCapabilities caps,
   r.recovered =
       spin(cluster, [&]() { return client->transport() == from; }, 10 * k_second);
 
+  // Cross-check the telemetry registry against the conduit's own counters:
+  // the snapshot embedded in --json must agree with what the bench measured.
+  const auto& metrics = cluster.telemetry().metrics();
+  for (const auto& info : rig.net_a->connections()) {
+    const std::string base = "conduit/" + std::to_string(info.token) + "/c" +
+                             std::to_string(rig.a->id()) + "/";
+    FF_CHECK(metrics.counter_value(base + "retransmits") == info.retransmits);
+    FF_CHECK(metrics.counter_value(base + "blackout_ns") ==
+             static_cast<std::uint64_t>(info.blackout_ns));
+    r.retransmits += info.retransmits;
+    r.conduit_blackout_ms += static_cast<double>(info.blackout_ns) /
+                             static_cast<double>(k_millisecond);
+  }
+  r.telemetry_snapshot = metrics.snapshot_json();
+  if (!trace_path.empty()) {
+    if (cluster.telemetry().tracer().export_to_file(trace_path)) {
+      std::printf("chrome trace: %s (%zu events)\n", trace_path.c_str(),
+                  cluster.telemetry().tracer().size());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", trace_path.c_str());
+    }
+  }
+
   std::printf("%-16s %10.1f %12.3f %12.1f %10s\n", label, r.baseline_gbps,
               r.blackout_ms, r.fallback_gbps, r.recovered ? "yes" : "NO");
   return r;
@@ -114,6 +142,12 @@ int main(int argc, char** argv) {
   banner("Transport failover: blackout and goodput per edge",
          "fault-tolerance extension (orchestrator-driven failover)");
   JsonReport json(argc, argv, "failover");
+  // --trace PATH: Chrome-trace export of the first kill-rdma edge (fault
+  // markers, mark_stale -> rebind -> retransmit -> re-upgrade timeline).
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") trace_path = argv[i + 1];
+  }
   // Blackouts legitimately drop packets and retry re-binds; the warn spam
   // is the fault model working, not a problem worth 100 lines of output.
   set_log_level(LogLevel::error);
@@ -139,13 +173,20 @@ int main(int argc, char** argv) {
        faults::FaultKind::dpdk_down, faults::FaultKind::dpdk_up},
   };
   for (const auto& e : edges) {
-    const EdgeResult r = run_edge(e.label, e.caps, e.from, e.to, e.kill, e.heal);
+    const bool want_trace = !trace_path.empty() && e.kill == faults::FaultKind::rdma_down;
+    const EdgeResult r =
+        run_edge(e.label, e.caps, e.from, e.to, e.kill, e.heal,
+                 want_trace ? trace_path : std::string());
+    if (want_trace) trace_path.clear();  // one export: the first rdma kill
     std::string key(e.label);
     key.replace(key.find("->"), 2, "_to_");
     json.add(key + "_baseline_gbps", r.baseline_gbps);
     json.add(key + "_blackout_ms", r.blackout_ms);
     json.add(key + "_fallback_gbps", r.fallback_gbps);
     json.add(key + "_recovered", r.recovered ? 1 : 0);
+    json.add(key + "_retransmits", static_cast<double>(r.retransmits));
+    json.add(key + "_conduit_blackout_ms", r.conduit_blackout_ms);
+    json.add_raw("telemetry_" + key, r.telemetry_snapshot);
   }
 
   footer();

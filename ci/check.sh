@@ -9,7 +9,8 @@
 #   4 test-asan      ctest under ASan+UBSan with LeakSanitizer ENABLED
 #   5 chaos-smoke    failover matrix (test_faults) under LeakSanitizer
 #   6 bench-smoke    bench_sim_core --json (proves the perf harness runs)
-#   7 perf-gate      ci/perf_gate.py vs the committed baseline
+#   7 trace-validate bench_failover --trace + ci/validate_trace.py
+#   8 perf-gate      ci/perf_gate.py vs the committed baseline
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -51,6 +52,17 @@ stage "chaos-smoke (failover matrix under LeakSanitizer)"
 
 stage "bench-smoke (bench_sim_core --json)"
 ./build/bench/bench_sim_core --json build/BENCH_sim_core.json
+
+stage "trace-validate (bench_failover --trace + telemetry snapshot)"
+# Runs the failover matrix with Chrome-trace export and checks the trace is
+# well-formed and shows the full kill-rdma recovery timeline. The bench
+# itself FF_CHECKs that the telemetry snapshot in --json matches its own
+# per-conduit retransmit/blackout measurements.
+./build/bench/bench_failover --json build/BENCH_failover.json \
+  --trace build/TRACE_failover.json
+python3 ci/validate_trace.py build/TRACE_failover.json \
+  --expect "i:rdma_down,B:failover,i:mark_stale,i:rebind,i:retransmit,E:failover,i:rdma_up,i:re-upgrade"
+python3 -c "import json; json.load(open('build/BENCH_failover.json'))"
 
 stage "perf-gate (vs bench/baselines)"
 python3 ci/perf_gate.py build/BENCH_sim_core.json bench/baselines/BENCH_sim_core.json

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validates a Chrome-trace-format export from the telemetry Tracer.
+
+Checks (stdlib only):
+  1. The file parses as JSON with a top-level "traceEvents" array.
+  2. Every event has the required fields; ph is one of B/E/i/M; ts is a
+     non-negative number; events are in non-decreasing ts order.
+  3. B/E pairs balance per (pid, tid) row and never close an unopened span
+     (metadata and instants are exempt).
+  4. Optional --expect: a comma-separated "ph:name" subsequence that must
+     appear, in order, somewhere in the event stream, e.g.
+       --expect "i:rdma_down,B:failover,i:mark_stale,i:rebind,i:retransmit,E:failover,i:re-upgrade"
+
+Exit code 0 on success; prints the first violation and exits 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_FIELDS = ("name", "ph", "ts", "pid", "tid")
+VALID_PH = {"B", "E", "i", "M"}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to the Chrome-trace JSON file")
+    parser.add_argument(
+        "--expect",
+        default="",
+        help='comma-separated "ph:name" subsequence that must appear in order',
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('top-level "traceEvents" array missing')
+    if not events:
+        fail("trace is empty")
+
+    open_spans = {}  # (pid, tid) -> [span names]
+    last_ts = None
+    for i, ev in enumerate(events):
+        for field in REQUIRED_FIELDS:
+            if field not in ev:
+                fail(f"event {i} missing field {field!r}: {ev}")
+        if ev["ph"] not in VALID_PH:
+            fail(f"event {i} has unknown phase {ev['ph']!r}")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event {i} has bad ts {ts!r}")
+        if ev["ph"] != "M":  # metadata carries ts 0 by convention
+            if last_ts is not None and ts < last_ts:
+                fail(f"event {i} goes back in time: ts {ts} after {last_ts}")
+            last_ts = ts
+        row = (ev["pid"], ev["tid"])
+        if ev["ph"] == "B":
+            open_spans.setdefault(row, []).append(ev["name"])
+        elif ev["ph"] == "E":
+            stack = open_spans.get(row)
+            if not stack:
+                fail(f"event {i}: E {ev['name']!r} closes nothing on row {row}")
+            opened = stack.pop()
+            if opened != ev["name"]:
+                fail(
+                    f"event {i}: E {ev['name']!r} does not match open "
+                    f"B {opened!r} on row {row}"
+                )
+
+    dangling = {row: stack for row, stack in open_spans.items() if stack}
+    if dangling:
+        fail(f"unclosed spans at end of trace: {dangling}")
+
+    if args.expect:
+        wanted = []
+        for item in args.expect.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            ph, _, name = item.partition(":")
+            if not name:
+                fail(f"--expect item {item!r} is not ph:name")
+            wanted.append((ph, name))
+        it = iter(events)
+        for ph, name in wanted:
+            for ev in it:
+                if ev["ph"] == ph and ev["name"] == name:
+                    break
+            else:
+                fail(f"expected subsequence broken at {ph}:{name}")
+
+    n_spans = sum(1 for e in events if e["ph"] == "B")
+    n_instants = sum(1 for e in events if e["ph"] == "i")
+    print(
+        f"validate_trace: OK: {len(events)} events "
+        f"({n_spans} spans, {n_instants} instants) in {args.trace}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,12 @@ Agent::Agent(AgentFabric& fabric, fabric::Host& host)
   fabric::install_control_rx(host_);
   tcp::WireHop::install_rx(host_);
 
+  auto& metrics = fabric_.cluster().telemetry().metrics();
+  const std::string prefix = "agent/" + std::to_string(host_.id()) + "/";
+  ctr_heartbeats_ = &metrics.counter(prefix + "heartbeats_sent");
+  ctr_lanes_failed_ = &metrics.counter(prefix + "lanes_failed");
+  gauge_graveyard_ = &metrics.gauge(prefix + "graveyard");
+
   // TCP trunk service: peer agents connect here when NICs lack bypass.
   const tcp::Endpoint ep{AgentFabric::agent_ip(host_.id()), fabric_.config().tcp_port};
   const Status listening =
@@ -544,7 +550,10 @@ void Agent::arm_monitor() {
   const SimDuration interval = fabric_.config().heartbeat_interval_ns;
   if (interval <= 0) return;
   monitor_armed_ = true;
-  monitor_ = host_.loop().schedule_cancellable(interval, [this]() { monitor_tick(); });
+  // Maintenance event: periodic housekeeping must not keep an otherwise
+  // idle loop alive (run() quiesces past it) — this is what lets
+  // heartbeats default on.
+  monitor_ = host_.loop().schedule_maintenance(interval, [this]() { monitor_tick(); });
 }
 
 void Agent::monitor_tick() {
@@ -566,7 +575,7 @@ void Agent::monitor_tick() {
     }
     for (const TrunkKey& key : dead) declare_lane_failed(key.peer, key.transport);
   }
-  monitor_ = host_.loop().schedule_cancellable(interval, [this]() { monitor_tick(); });
+  monitor_ = host_.loop().schedule_maintenance(interval, [this]() { monitor_tick(); });
 }
 
 void Agent::send_heartbeat(const TrunkKey& key) {
@@ -576,6 +585,7 @@ void Agent::send_heartbeat(const TrunkKey& key) {
   header.channel = 0;
   header.msg_seq = next_msg_seq_++;
   it->second->send(make_record(header, ByteSpan{}));
+  ctr_heartbeats_->inc();
 }
 
 void Agent::declare_lane_failed(fabric::HostId peer, orch::Transport transport) {
@@ -583,9 +593,11 @@ void Agent::declare_lane_failed(fabric::HostId peer, orch::Transport transport) 
   auto it = trunks_.find(key);
   if (it == trunks_.end()) return;
   ++lanes_failed_;
+  ctr_lanes_failed_->inc();
   FF_LOG(info, "agent") << host_.name() << ": lane to host " << peer << " over "
                         << orch::transport_name(transport) << " declared dead";
   retired_trunks_.push_back(std::move(it->second));
+  gauge_graveyard_->set(static_cast<std::int64_t>(retired_trunks_.size()));
   trunks_.erase(it);
   lane_last_rx_.erase(key);
   // Fail the endpoints first so their conduits detach and go stale, then

@@ -20,6 +20,7 @@
 #include "rdma/device.h"
 #include "tcpstack/modes.h"
 #include "tcpstack/network.h"
+#include "telemetry/telemetry.h"
 
 namespace freeflow::agent {
 
@@ -186,6 +187,12 @@ class Agent {
   sim::EventHandle monitor_;
   bool monitor_armed_ = false;
   std::uint64_t lanes_failed_ = 0;
+
+  // Telemetry (wired in the ctor from the cluster hub; the registry-owned
+  // metrics safely outlive this agent).
+  telemetry::Counter* ctr_heartbeats_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_lanes_failed_ = telemetry::Counter::discard();
+  telemetry::Gauge* gauge_graveyard_ = telemetry::Gauge::discard();
 
   // ---- pause (fault injection) ------------------------------------------
   bool paused_ = false;

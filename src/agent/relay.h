@@ -69,11 +69,13 @@ struct AgentConfig {
 
   /// Lane health monitoring: every interval the agent heartbeats each
   /// remote trunk and declares a lane dead after heartbeat_timeout_ns of
-  /// rx silence. 0 disables monitoring (the default — the monitor timer
-  /// would otherwise keep an idle event loop alive forever, and most
-  /// workloads run on a lossless fabric).
-  SimDuration heartbeat_interval_ns = 0;
-  SimDuration heartbeat_timeout_ns = 2 * k_millisecond;
+  /// rx silence. Default-on — the monitor runs as a maintenance event
+  /// (EventLoop::schedule_maintenance), so it no longer keeps an idle loop
+  /// alive. 0 disables monitoring. The timeout is sized to ride out benign
+  /// multi-millisecond stalls (e.g. a paused-not-dead peer agent) while
+  /// still detecting real lane death within ~10 ms of virtual time.
+  SimDuration heartbeat_interval_ns = k_millisecond;
+  SimDuration heartbeat_timeout_ns = 10 * k_millisecond;
 };
 
 }  // namespace freeflow::agent

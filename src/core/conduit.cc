@@ -1,8 +1,40 @@
 #include "core/conduit.h"
 
+#include <string>
+
 #include "common/logging.h"
+#include "orchestrator/network_orchestrator.h"
 
 namespace freeflow::core {
+
+namespace {
+/// Trace coordinates: one "process" per container, one "thread" per conduit.
+std::uint32_t trace_tid(std::uint64_t token) noexcept {
+  return static_cast<std::uint32_t>(token);
+}
+}  // namespace
+
+void Conduit::set_telemetry(telemetry::Telemetry* hub) {
+  hub_ = hub;
+  if (hub_ == nullptr) return;
+  // Both endpoints of a channel share the token, so the metric entity is
+  // (token, endpoint container) — "conduit/<token>/c<self>/<metric>".
+  const std::string prefix = "conduit/" + std::to_string(token_) + "/c" +
+                             std::to_string(self_) + "/";
+  auto& m = hub_->metrics();
+  ctr_sent_ = &m.counter(prefix + "sent");
+  ctr_received_ = &m.counter(prefix + "received");
+  ctr_acks_ = &m.counter(prefix + "acks");
+  ctr_delayed_acks_ = &m.counter(prefix + "delayed_acks");
+  ctr_retransmits_ = &m.counter(prefix + "retransmits");
+  ctr_rebinds_ = &m.counter(prefix + "rebinds");
+  ctr_window_full_ = &m.counter(prefix + "window_full");
+  ctr_blackout_ns_ = &m.counter(prefix + "blackout_ns");
+  ctr_blocked_ns_ = &m.counter(prefix + "blocked_ns");
+  gauge_retained_ = &m.gauge(prefix + "retained");
+  hub_->tracer().name_thread(self_, trace_tid(token_),
+                             "conduit " + std::to_string(token_));
+}
 
 void Conduit::send(const WireHeader& header, ByteSpan payload) {
   if (closed_ || closing_) return;  // teardown races with in-flight sends
@@ -14,13 +46,23 @@ void Conduit::send(const WireHeader& header, ByteSpan payload) {
     return;
   }
   ++sent_;
+  ctr_sent_->inc();
   if (should_retain()) {
     retained_.emplace_back(h.seq, Buffer(message.data(), message.size()));
+    gauge_retained_->set(static_cast<std::int64_t>(retained_.size()));
+    if (retained_.size() == k_max_retained) note_window_filled();
   }
   const Status s = channel_->send(std::move(message));
   if (!s.is_ok()) {
     FF_LOG(warn, "core") << "conduit send failed: " << s;
   }
+}
+
+void Conduit::note_window_filled() {
+  // The retained window just hit the cap: writable() deasserts until an ack
+  // drains it. Track how long the app stays blocked on the window.
+  ctr_window_full_->inc();
+  if (loop_ != nullptr) window_full_since_ = loop_->now();
 }
 
 void Conduit::send_control(VMsg type, std::uint64_t ack_upto) {
@@ -50,8 +92,36 @@ void Conduit::attach_channel(agent::ChannelPtr channel) {
   channel_->set_on_failed([self]() {
     if (auto conduit = self.lock()) conduit->handle_channel_failed();
   });
+  const bool recovering = in_blackout_;
+  const orch::Transport now_on = channel_->transport();
+  if (recovering) {
+    in_blackout_ = false;
+    if (loop_ != nullptr) {
+      const SimDuration gap = loop_->now() - blackout_started_;
+      blackout_ns_total_ += gap;
+      ctr_blackout_ns_->inc(static_cast<std::uint64_t>(gap));
+    }
+    if (hub_ != nullptr) {
+      hub_->tracer().instant(
+          "conduit", "rebind", self_, trace_tid(token_),
+          telemetry::Tracer::arg("to", std::string(orch::transport_name(now_on))));
+    }
+  }
   retransmit_retained();
+  if (recovering && hub_ != nullptr) {
+    hub_->tracer().end("conduit", "failover", self_, trace_tid(token_));
+    // Re-attaching onto a strictly better transport than the one that died
+    // is the heal-path re-upgrade (Transport enum orders best-first).
+    if (static_cast<int>(now_on) < static_cast<int>(pre_failover_transport_)) {
+      hub_->tracer().instant(
+          "conduit", "re-upgrade", self_, trace_tid(token_),
+          telemetry::Tracer::arg("to", std::string(orch::transport_name(now_on))));
+    }
+  }
   drain();
+  // A receive-side ack obligation may have been parked while detached
+  // (delayed-ack timer fires as a no-op without a channel): resume it.
+  if (since_ack_ > 0 || resync_ack_) arm_ack_timer();
   if (closing_) {
     // Close handshake started while stale: re-issue the bye on the new path
     // so the peer's bye_ack can still beat the drain timer.
@@ -80,7 +150,15 @@ void Conduit::handle_message(Buffer&& message) {
       break;
   }
   if (h.seq != 0) {
-    if (h.seq < rx_next_) return;  // duplicate from a failover retransmit
+    if (h.seq < rx_next_) {
+      // Duplicate from a failover retransmit. The original ack for these
+      // sequences may have died with the old lane, and the piggyback cadence
+      // will never re-fire for them (rx_next_ is unchanged) — without a
+      // re-ack the sender's retained window can stay pinned full forever.
+      resync_ack_ = true;
+      arm_ack_timer();
+      return;
+    }
     if (h.seq > rx_next_) {
       // Cumulative acks make this impossible in-protocol; a gap means the
       // channel below reordered, which the transports never do.
@@ -92,6 +170,7 @@ void Conduit::handle_message(Buffer&& message) {
     maybe_ack();
   }
   ++received_;
+  ctr_received_->inc();
   if (on_message_) {
     // Copy: handlers swap themselves during handshakes (cm_accept installs
     // the QP/socket data handler from inside the setup handler).
@@ -102,9 +181,35 @@ void Conduit::handle_message(Buffer&& message) {
 
 void Conduit::maybe_ack() {
   if (!should_retain()) return;  // shm is lossless: peer retains nothing
-  if (++since_ack_ < k_ack_every) return;
+  if (++since_ack_ >= k_ack_every) {
+    send_ack_now();
+    return;
+  }
+  // Mid-cadence: guarantee the ack goes out within the delayed-ack bound
+  // even if no further messages arrive — the sender may be blocked on a
+  // full retained window right now, with nothing left to send us.
+  arm_ack_timer();
+}
+
+void Conduit::send_ack_now() {
   since_ack_ = 0;
+  resync_ack_ = false;
+  ack_timer_.cancel();
   send_control(VMsg::ack, rx_next_ - 1);
+  ctr_acks_->inc();
+}
+
+void Conduit::arm_ack_timer() {
+  if (loop_ == nullptr || ack_timer_.pending()) return;
+  auto self = weak_from_this();
+  ack_timer_ = loop_->schedule_cancellable(k_delayed_ack_ns, [self]() {
+    auto conduit = self.lock();
+    if (conduit == nullptr || conduit->closed_ || conduit->closing_) return;
+    if (conduit->since_ack_ == 0 && !conduit->resync_ack_) return;
+    if (!conduit->should_retain()) return;  // detached or lossless: no ack path
+    conduit->ctr_delayed_acks_->inc();
+    conduit->send_ack_now();
+  });
 }
 
 void Conduit::handle_ack(std::uint64_t acked_upto) {
@@ -112,7 +217,14 @@ void Conduit::handle_ack(std::uint64_t acked_upto) {
   while (!retained_.empty() && retained_.front().first <= acked_upto) {
     retained_.pop_front();
   }
-  if (was_full && retained_.size() < k_max_retained && on_space_) on_space_();
+  gauge_retained_->set(static_cast<std::int64_t>(retained_.size()));
+  if (was_full && retained_.size() < k_max_retained) {
+    if (loop_ != nullptr && window_full_since_ != 0) {
+      ctr_blocked_ns_->inc(static_cast<std::uint64_t>(loop_->now() - window_full_since_));
+      window_full_since_ = 0;
+    }
+    if (on_space_) on_space_();
+  }
 }
 
 void Conduit::handle_bye() {
@@ -187,6 +299,12 @@ void Conduit::finish_close(CloseReason reason, bool notify_peer) {
   closing_ = false;
   close_reason_ = reason;
   drain_timer_.cancel();
+  ack_timer_.cancel();
+  if (in_blackout_) {
+    // Close during a failover gap: end the span so B/E stay balanced.
+    in_blackout_ = false;
+    if (hub_ != nullptr) hub_->tracer().end("conduit", "failover", self_, trace_tid(token_));
+  }
   queue_.clear();
   retained_.clear();
   if (channel_ != nullptr) {
@@ -213,8 +331,21 @@ void Conduit::finish_close(CloseReason reason, bool notify_peer) {
 
 void Conduit::mark_stale() {
   if (channel_ != nullptr) {
+    pre_failover_transport_ = channel_->transport();
     channel_->close();
     ++rebinds_;
+    ctr_rebinds_->inc();
+    if (!in_blackout_) {
+      in_blackout_ = true;
+      blackout_started_ = loop_ != nullptr ? loop_->now() : 0;
+      if (hub_ != nullptr) {
+        hub_->tracer().begin(
+            "conduit", "failover", self_, trace_tid(token_),
+            telemetry::Tracer::arg(
+                "from", std::string(orch::transport_name(pre_failover_transport_))));
+        hub_->tracer().instant("conduit", "mark_stale", self_, trace_tid(token_));
+      }
+    }
   }
   channel_ = nullptr;
   ++generation_;
@@ -224,6 +355,15 @@ void Conduit::retransmit_retained() {
   // The peer drops already-delivered duplicates by sequence, so replaying
   // the whole unacked window is safe — and the only way to guarantee the
   // lost tail of the dead lane arrives.
+  if (!retained_.empty()) {
+    retransmits_ += retained_.size();
+    ctr_retransmits_->inc(retained_.size());
+    if (hub_ != nullptr) {
+      hub_->tracer().instant(
+          "conduit", "retransmit", self_, trace_tid(token_),
+          telemetry::Tracer::arg("count", std::to_string(retained_.size())));
+    }
+  }
   for (auto& [seq, message] : retained_) {
     (void)seq;
     const Status s = channel_->send(Buffer(message.data(), message.size()));
@@ -243,9 +383,12 @@ void Conduit::drain() {
     Buffer message = std::move(queue_.front());
     queue_.pop_front();
     ++sent_;
+    ctr_sent_->inc();
     if (should_retain()) {
       const std::uint64_t seq = WireHeader::decode(message.data()).seq;
       retained_.emplace_back(seq, Buffer(message.data(), message.size()));
+      gauge_retained_->set(static_cast<std::int64_t>(retained_.size()));
+      if (retained_.size() == k_max_retained) note_window_filled();
     }
     const Status s = channel_->send(std::move(message));
     if (!s.is_ok()) {

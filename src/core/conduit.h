@@ -23,6 +23,7 @@
 #include "core/wire.h"
 #include "sim/event_loop.h"
 #include "tcpstack/ip.h"
+#include "telemetry/telemetry.h"
 
 namespace freeflow::core {
 
@@ -83,6 +84,11 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
   /// Sim clock used for the close-handshake drain timer (ContainerNet wires
   /// this on adoption; bare conduits stay clockless and close synchronously).
   void set_loop(sim::EventLoop* loop) noexcept { loop_ = loop; }
+
+  /// Wires this conduit's counters/spans into the deployment-wide telemetry
+  /// hub (ContainerNet calls this on adoption). Unwired conduits count into
+  /// shared discard sinks — the hot path never branches on telemetry.
+  void set_telemetry(telemetry::Telemetry* hub);
   void set_drain_timeout(SimDuration timeout_ns) noexcept {
     drain_timeout_ns_ = timeout_ns;
   }
@@ -112,6 +118,10 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t messages_received() const noexcept { return received_; }
   [[nodiscard]] std::uint64_t rebinds() const noexcept { return rebinds_; }
+  /// Messages replayed from the retained window across all re-attaches.
+  [[nodiscard]] std::uint64_t retransmits() const noexcept { return retransmits_; }
+  /// Total virtual time spent detached between mark_stale and re-attach.
+  [[nodiscard]] SimDuration blackout_ns() const noexcept { return blackout_ns_total_; }
   /// Monotonic detach counter: a slow re-bind whose generation no longer
   /// matches must abandon its freshly built channel (a newer re-bind won).
   [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
@@ -125,6 +135,11 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
   static constexpr std::uint64_t k_ack_every = 16;
   /// Sender-side retention cap; writable() deasserts at the cap.
   static constexpr std::size_t k_max_retained = 256;
+  /// Delayed-ack bound: with un-acked receipts (`since_ack_ > 0`) and no
+  /// k_ack_every-th message to piggyback on, an ack goes out within this
+  /// idle window — so a sender that filled its retained window mid-cadence
+  /// always unblocks (see the ack-stall regression test).
+  static constexpr SimDuration k_delayed_ack_ns = 100'000;  // 100 us
 
  private:
   void drain();
@@ -135,6 +150,9 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
   void handle_bye_ack();
   void handle_channel_failed();
   void maybe_ack();
+  void send_ack_now();
+  void arm_ack_timer();
+  void note_window_filled();
   void send_control(VMsg type, std::uint64_t ack_upto = 0);
   void finish_close(CloseReason reason, bool notify_peer);
   [[nodiscard]] bool should_retain() const noexcept {
@@ -161,6 +179,11 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
   sim::EventLoop* loop_ = nullptr;
   SimDuration drain_timeout_ns_ = 5'000'000;  // 5 ms default
   sim::EventHandle drain_timer_;
+  sim::EventHandle ack_timer_;
+  /// A failover retransmit delivered only duplicates: the piggyback ack
+  /// cadence won't fire (rx_next_ unchanged), but the sender is waiting on
+  /// an ack for exactly those sequences — resync via the delayed-ack timer.
+  bool resync_ack_ = false;
 
   bool closed_ = false;
   bool closing_ = false;
@@ -174,7 +197,28 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t rebinds_ = 0;
+  std::uint64_t retransmits_ = 0;
   std::uint64_t generation_ = 0;
+
+  // --- telemetry (discard sinks until set_telemetry wires real ones) ---
+  telemetry::Telemetry* hub_ = nullptr;  // tracer + gauges; null = no tracing
+  telemetry::Counter* ctr_sent_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_received_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_acks_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_delayed_acks_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_retransmits_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_rebinds_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_window_full_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_blackout_ns_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_blocked_ns_ = telemetry::Counter::discard();
+  telemetry::Gauge* gauge_retained_ = telemetry::Gauge::discard();
+  /// Transport in use before the current/last failover — a re-attach onto a
+  /// strictly better transport is the "re-upgrade" trace marker.
+  orch::Transport pre_failover_transport_ = orch::Transport::tcp_overlay;
+  SimTime blackout_started_ = 0;
+  bool in_blackout_ = false;
+  SimTime window_full_since_ = 0;
+  SimDuration blackout_ns_total_ = 0;
 };
 
 using ConduitPtr = std::shared_ptr<Conduit>;

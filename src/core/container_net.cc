@@ -22,6 +22,7 @@ void ContainerNet::adopt_conduit(const ConduitPtr& conduit) {
   });
   conduit->set_loop(&loop());
   conduit->set_drain_timeout(current_host().cost_model().close_drain_timeout_ns);
+  conduit->set_telemetry(&ff_.orchestrator().cluster_orch().cluster().telemetry());
   // Transport failure (lane declared dead by the agent): the initiator
   // re-decides and splices on a fallback channel; the passive side waits
   // for the initiator's rebind to arrive over the new transport.
@@ -388,9 +389,10 @@ std::vector<ContainerNet::ConnectionInfo> ContainerNet::connections() const {
   out.reserve(conduits_.size());
   for (const auto& [token, c] : conduits_) {
     if (c->closed()) continue;
-    out.push_back(ConnectionInfo{c->peer(), c->peer_ip(), c->transport(),
+    out.push_back(ConnectionInfo{c->token(), c->peer(), c->peer_ip(), c->transport(),
                                  c->initiator(), c->messages_sent(),
                                  c->messages_received(), c->rebinds(),
+                                 c->retransmits(), c->blackout_ns(),
                                  c->live(), c->writable(), c->retained_count(),
                                  c->queued_count(), c->channel_writable()});
   }

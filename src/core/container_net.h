@@ -82,6 +82,7 @@ class ContainerNet : public std::enable_shared_from_this<ContainerNet> {
 
   /// Introspection: one row per open conduit (ops tooling / examples).
   struct ConnectionInfo {
+    std::uint64_t token;  ///< keys telemetry: "conduit/<token>/c<self>/..."
     orch::ContainerId peer;
     tcp::Ipv4Addr peer_ip;
     orch::Transport transport;
@@ -89,6 +90,8 @@ class ContainerNet : public std::enable_shared_from_this<ContainerNet> {
     std::uint64_t messages_sent;
     std::uint64_t messages_received;
     std::uint64_t rebinds;
+    std::uint64_t retransmits;
+    SimDuration blackout_ns;  ///< total detached (stale) virtual time
     bool live;            ///< a channel is currently attached
     bool writable;        ///< conduit accepts more traffic right now
     std::size_t retained; ///< sent-but-unacked window depth

@@ -12,6 +12,7 @@ Host& Cluster::add_host(const std::string& name, NicCapabilities nic_caps) {
   hosts_.push_back(std::make_unique<Host>(loop_, model_, id, name, nic_caps));
   Host& host = *hosts_.back();
   host.nic().attach(&switch_);
+  host.nic().set_telemetry(&telemetry_);
   switch_.connect(id, &host.nic());
   return host;
 }

@@ -10,6 +10,7 @@
 #include "fabric/switch.h"
 #include "sim/cost_model.h"
 #include "sim/event_loop.h"
+#include "telemetry/telemetry.h"
 
 namespace freeflow::fabric {
 
@@ -35,9 +36,18 @@ class Cluster {
   [[nodiscard]] const sim::CostModel& cost_model() const noexcept { return model_; }
   [[nodiscard]] Switch& tor() noexcept { return switch_; }
 
+  /// Deployment-wide observability hub. The cluster is the one object every
+  /// layer can reach (agents/conduits via their fabric, the orchestrator via
+  /// cluster_orch().cluster()), so it owns the shared registry and tracer.
+  [[nodiscard]] telemetry::Telemetry& telemetry() noexcept { return telemetry_; }
+  [[nodiscard]] const telemetry::Telemetry& telemetry() const noexcept {
+    return telemetry_;
+  }
+
  private:
   sim::CostModel model_;
   sim::EventLoop loop_;
+  telemetry::Telemetry telemetry_{&loop_};
   Switch switch_;
   std::vector<std::unique_ptr<Host>> hosts_;
 };

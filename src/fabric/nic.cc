@@ -13,7 +13,30 @@ Nic::Nic(sim::EventLoop& loop, const sim::CostModel& model, HostId host,
       host_(host),
       caps_(caps),
       processor_(loop, "nic_proc", model.nic_proc_rate, 1),
-      tx_link_(loop, "nic_tx", caps.line_rate_gbps * 1e9 / 8.0, 1) {}
+      tx_link_(loop, "nic_tx", caps.line_rate_gbps * 1e9 / 8.0, 1) {
+  ctr_tx_bytes_.fill(telemetry::Counter::discard());
+  ctr_rx_bytes_.fill(telemetry::Counter::discard());
+  ctr_drops_.fill(telemetry::Counter::discard());
+}
+
+void Nic::set_telemetry(telemetry::Telemetry* hub) {
+  if (hub == nullptr) return;
+  auto& m = hub->metrics();
+  const std::string prefix = "nic/" + std::to_string(host_) + "/";
+  for (std::size_t k = 0; k < k_packet_kinds; ++k) {
+    const char* kind = packet_kind_name(static_cast<PacketKind>(k));
+    ctr_tx_bytes_[k] = &m.counter(prefix + "tx_bytes/" + kind);
+    ctr_rx_bytes_[k] = &m.counter(prefix + "rx_bytes/" + kind);
+    ctr_drops_[k] = &m.counter(prefix + "drops/" + kind);
+  }
+  // Sampled at snapshot time: fraction of the tx link's total capacity used
+  // since t=0. The NIC outlives the registry's export calls (both die with
+  // the cluster), so capturing `this` is safe.
+  m.register_probe(prefix + "tx_utilization", [this]() {
+    const double now = static_cast<double>(loop_.now());
+    return now <= 0 ? 0.0 : tx_link_.busy_ns_total() / now;
+  });
+}
 
 void Nic::set_rate_fraction(double fraction) noexcept {
   // A fully dead serializer is modeled as link-down, not as a divide-by-zero.
@@ -29,6 +52,7 @@ bool Nic::would_drop(PacketKind kind) const noexcept {
 
 void Nic::drop(PacketKind kind) {
   ++dropped_packets_;
+  ctr_drops_[static_cast<std::size_t>(kind)]->inc();
   if (on_drop_) on_drop_(kind);
 }
 
@@ -41,6 +65,7 @@ void Nic::send(PacketPtr packet) {
   }
   ++tx_packets_;
   tx_bytes_ += packet->wire_bytes;
+  ctr_tx_bytes_[static_cast<std::size_t>(packet->kind)]->inc(packet->wire_bytes);
 
   // A degraded NIC serializes slower: the same bytes occupy the tx link for
   // 1/rate_fraction as long, which shows up as reduced goodput downstream.
@@ -70,6 +95,7 @@ void Nic::deliver(PacketPtr packet) {
   }
   ++rx_packets_;
   rx_bytes_ += packet->wire_bytes;
+  ctr_rx_bytes_[static_cast<std::size_t>(packet->kind)]->inc(packet->wire_bytes);
   auto& handler = rx_handlers_[static_cast<std::size_t>(packet->kind)];
   if (handler) {
     handler(std::move(packet));

@@ -12,6 +12,7 @@
 #include "sim/cost_model.h"
 #include "sim/event_loop.h"
 #include "sim/resource.h"
+#include "telemetry/telemetry.h"
 
 namespace freeflow::fabric {
 
@@ -94,6 +95,11 @@ class Nic {
   [[nodiscard]] std::uint64_t tx_bytes() const noexcept { return tx_bytes_; }
   [[nodiscard]] std::uint64_t rx_bytes() const noexcept { return rx_bytes_; }
 
+  /// Wires per-PacketKind byte/drop counters and a tx-utilization probe into
+  /// the deployment hub ("nic/<host>/..."). Cluster::add_host calls this;
+  /// the NIC lives as long as the cluster, so the probe capture is safe.
+  void set_telemetry(telemetry::Telemetry* hub);
+
  private:
   sim::EventLoop& loop_;
   const sim::CostModel& model_;
@@ -113,6 +119,11 @@ class Nic {
   std::uint64_t tx_bytes_ = 0;
   std::uint64_t rx_bytes_ = 0;
   std::uint64_t dropped_packets_ = 0;
+
+  // Per-PacketKind telemetry (discard sinks until set_telemetry wires them).
+  std::array<telemetry::Counter*, k_packet_kinds> ctr_tx_bytes_{};
+  std::array<telemetry::Counter*, k_packet_kinds> ctr_rx_bytes_{};
+  std::array<telemetry::Counter*, k_packet_kinds> ctr_drops_{};
 };
 
 }  // namespace freeflow::fabric

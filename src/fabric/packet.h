@@ -4,6 +4,7 @@
 // TCP streams, RDMA QPs) put their own headers in typed bodies.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -21,6 +22,19 @@ enum class PacketKind : std::uint8_t {
   dpdk_frame,   ///< dpdk::DpdkFrame
   control,      ///< orchestrator / routing control messages
 };
+
+constexpr std::size_t k_packet_kinds = 4;
+
+/// Stable lowercase name, used in telemetry metric paths.
+constexpr const char* packet_kind_name(PacketKind kind) noexcept {
+  switch (kind) {
+    case PacketKind::tcp_frame: return "tcp_frame";
+    case PacketKind::rdma_chunk: return "rdma_chunk";
+    case PacketKind::dpdk_frame: return "dpdk_frame";
+    case PacketKind::control: return "control";
+  }
+  return "unknown";
+}
 
 /// Base class for typed packet bodies (owned via shared_ptr; zero-copy
 /// within the simulation).

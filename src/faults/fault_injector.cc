@@ -120,6 +120,11 @@ void FaultInjector::record(const FaultEvent& event) {
                   event.host, fault_kind_name(event.kind));
   }
   trace_ += line;
+  // Fault inject/heal markers land on the control-plane trace row (pid 0),
+  // so failover spans line up against the fault that caused them.
+  auto& tracer = orchestrator_.cluster_orch().cluster().telemetry().tracer();
+  tracer.instant("fault", fault_kind_name(event.kind), 0, event.host,
+                 telemetry::Tracer::arg("host", std::to_string(event.host)));
   FF_LOG(info, "faults") << "applied " << fault_kind_name(event.kind) << " on host "
                          << event.host;
 }

@@ -49,6 +49,17 @@ fabric::HostId NetworkOrchestrator::physical_machine(fabric::HostId host) const 
 
 TransportDecision NetworkOrchestrator::decide(const Container& src,
                                               const Container& dst) const {
+  TransportDecision d = decide_impl(src, dst);
+  // Control-plane rate: a by-name registry lookup per decision is fine here
+  // (unlike the per-packet paths, which cache counter pointers).
+  auto& m = cluster_.cluster().telemetry().metrics();
+  m.counter("orchestrator/decisions").inc();
+  m.counter("orchestrator/decisions/" + std::string(transport_name(d.transport))).inc();
+  return d;
+}
+
+TransportDecision NetworkOrchestrator::decide_impl(const Container& src,
+                                                   const Container& dst) const {
   TransportDecision d;
   d.same_host = src.host() == dst.host();
 
@@ -142,6 +153,7 @@ void NetworkOrchestrator::subscribe_moves(LocationFn fn) {
 void NetworkOrchestrator::update_nic_health(fabric::HostId host,
                                             const fabric::NicHealth& health) {
   health_[host] = health;
+  cluster_.cluster().telemetry().metrics().counter("orchestrator/health_updates").inc();
   notify_health(host);
 }
 
@@ -158,6 +170,7 @@ void NetworkOrchestrator::subscribe_health(HealthFn fn) {
 void NetworkOrchestrator::report_lane_failure(fabric::HostId reporter,
                                               fabric::HostId peer, Transport transport) {
   ++lane_failure_reports_;
+  cluster_.cluster().telemetry().metrics().counter("orchestrator/lane_failure_reports").inc();
   FF_LOG(info, "orch") << "lane failure report: host " << reporter << " -> host "
                        << peer << " over " << transport_name(transport);
   // Both ends re-evaluate; decide() folds whatever telemetry already knows.

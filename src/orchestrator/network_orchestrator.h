@@ -105,6 +105,8 @@ class NetworkOrchestrator {
   [[nodiscard]] fabric::HostId physical_machine(fabric::HostId host) const;
 
  private:
+  [[nodiscard]] TransportDecision decide_impl(const Container& src,
+                                              const Container& dst) const;
   void notify_health(fabric::HostId host);
 
   ClusterOrchestrator& cluster_;

@@ -114,7 +114,12 @@ bool EventLoop::step() {
 }
 
 SimTime EventLoop::run() {
-  while (step()) {
+  // Quiesce: stop once only maintenance events remain. They stay queued —
+  // run() leaves them for a later run()/run_until(), a cancelling owner, or
+  // the loop's destructor. (A maintenance event that is *earlier* than live
+  // blocking work still fires in order via step.)
+  while (wheel_live_ + heap_.size() > maintenance_live_) {
+    step();
   }
   return now_;
 }
@@ -153,6 +158,12 @@ CancelToken* EventLoop::acquire_token() {
 
 void EventLoop::release_token(CancelToken* t) noexcept {
   ++t->gen;  // invalidates every outstanding handle for this arming
+  if (t->maintenance) {
+    // Both paths that release (event fired, event cancelled) end the
+    // maintenance obligation; a re-arming callback re-registers.
+    t->maintenance = false;
+    --maintenance_live_;
+  }
   free_tokens_.push_back(t);
 }
 

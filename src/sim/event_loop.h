@@ -41,6 +41,7 @@ struct CancelToken {
   SimTime at = 0;
   std::uint64_t seq = 0;
   bool in_heap = false;
+  bool maintenance = false;
   std::uint32_t heap_pos = 0;
 };
 
@@ -112,7 +113,26 @@ class EventLoop {
     return {this, t, t->gen};
   }
 
-  /// Runs events until the queue is empty. Returns the final time.
+  /// Quiesce API: schedules a *maintenance* event — a periodic housekeeping
+  /// timer (heartbeat monitor, stats flush) that should not keep the
+  /// simulation alive on its own. run() treats the queue as idle once only
+  /// maintenance events remain and returns without executing them; they
+  /// still fire normally under step()/run_until()/run_for(), and a
+  /// maintenance callback that re-arms itself stays maintenance. Always
+  /// cancellable: owners cancel on teardown, and events left queued when
+  /// run() quiesces die with the loop.
+  template <typename F>
+  EventHandle schedule_maintenance(SimDuration delay, F&& fn) {
+    FF_CHECK(delay >= 0);
+    CancelToken* t = acquire_token();
+    t->maintenance = true;
+    ++maintenance_live_;
+    insert(now_ + delay, std::forward<F>(fn), t);
+    return {this, t, t->gen};
+  }
+
+  /// Runs events until only maintenance events (or nothing) remain, i.e.
+  /// until the simulation has quiesced. Returns the final time.
   SimTime run();
 
   /// Runs events with timestamp <= deadline; advances now() to deadline
@@ -133,6 +153,15 @@ class EventLoop {
   /// aggregate counter (wheel_live_ already includes mid-drain events).
   [[nodiscard]] std::size_t queue_size() const noexcept {
     return wheel_live_ + heap_.size();
+  }
+
+  /// Live maintenance events (see schedule_maintenance).
+  [[nodiscard]] std::size_t maintenance_size() const noexcept {
+    return maintenance_live_;
+  }
+  /// Live events that keep run() going: queue_size() minus maintenance.
+  [[nodiscard]] std::size_t blocking_size() const noexcept {
+    return queue_size() - maintenance_live_;
   }
 
  private:
@@ -215,6 +244,7 @@ class EventLoop {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t wheel_live_ = 0;  // live wheel events, incl. mid-drain
+  std::size_t maintenance_live_ = 0;
 
   std::vector<Slot> wheel_;
   std::vector<std::uint64_t> bitmap_;

@@ -194,6 +194,82 @@ TEST(Histogram, MergeMatchesCombined) {
   EXPECT_EQ(a.max(), combined.max());
 }
 
+TEST(Histogram, MergeMixedResolutionKeepsExactMoments) {
+  // Merging across resolutions re-records bucket midpoints, but count, sum
+  // (hence mean), min and max are carried over exactly in both directions.
+  Histogram fine(5), coarse(2);
+  std::uint64_t n = 0;
+  std::int64_t sum = 0;
+  for (int v = 1; v <= 4000; ++v) {
+    fine.record(v);
+    ++n;
+    sum += v;
+  }
+  for (int v = 4001; v <= 8000; ++v) {
+    coarse.record(v);
+    ++n;
+    sum += v;
+  }
+  Histogram into_coarse(2);
+  into_coarse.merge(fine);    // fine -> coarse
+  into_coarse.merge(coarse);  // same resolution
+  Histogram into_fine(5);
+  into_fine.merge(coarse);  // coarse -> fine
+  into_fine.merge(fine);
+  for (const Histogram* h : {&into_coarse, &into_fine}) {
+    EXPECT_EQ(h->count(), n);
+    EXPECT_EQ(h->min(), 1);
+    EXPECT_EQ(h->max(), 8000);
+    EXPECT_NEAR(h->mean(), static_cast<double>(sum) / static_cast<double>(n), 1e-9);
+  }
+}
+
+TEST(Histogram, MergeMixedResolutionQuantileDriftBounded) {
+  // Quantiles after a cross-resolution merge must stay within one bucket of
+  // the *coarser* histogram: relative error <= 2^-sub_log2 (plus the fine
+  // side's own bucketing), here 1/4 for sub_log2 = 2.
+  Histogram fine(5), reference(2), merged(2);
+  for (int v = 1; v <= 10000; ++v) {
+    fine.record(v);
+    reference.record(v);
+  }
+  merged.merge(fine);
+  for (const double q : {0.10, 0.50, 0.90, 0.99}) {
+    const auto want = static_cast<double>(reference.quantile(q));
+    const auto got = static_cast<double>(merged.quantile(q));
+    EXPECT_NEAR(got, want, want * 0.25) << "q=" << q;
+  }
+
+  // And the other direction: coarse counts re-recorded into a fine grid
+  // can only be off by the coarse bucket they came from.
+  Histogram coarse(2), fine_ref(5), fine_merged(5);
+  for (int v = 1; v <= 10000; ++v) {
+    coarse.record(v);
+    fine_ref.record(v);
+  }
+  fine_merged.merge(coarse);
+  for (const double q : {0.10, 0.50, 0.90, 0.99}) {
+    const auto want = static_cast<double>(fine_ref.quantile(q));
+    const auto got = static_cast<double>(fine_merged.quantile(q));
+    EXPECT_NEAR(got, want, want * 0.25) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeMixedResolutionIntoEmptyAdoptsBounds) {
+  Histogram coarse(2);
+  coarse.record(100);
+  coarse.record(900);
+  Histogram fine(5);
+  fine.merge(coarse);  // empty target, different resolution
+  EXPECT_EQ(fine.count(), 2u);
+  EXPECT_EQ(fine.min(), 100);
+  EXPECT_EQ(fine.max(), 900);
+  Histogram empty(2);
+  fine.merge(empty);  // merging an empty histogram is a no-op
+  EXPECT_EQ(fine.count(), 2u);
+  EXPECT_EQ(fine.min(), 100);
+}
+
 TEST(Histogram, ResetClears) {
   Histogram h;
   h.record(10);

@@ -97,6 +97,137 @@ TEST(ConduitUnit, CloseFiresOnceAndDropsTraffic) {
   EXPECT_EQ(conduit.messages_sent(), 0u);
 }
 
+// ------------------------------------------------- delayed-ack regression
+
+/// Minimal loopback channel pair for conduit-level ARQ tests: delivery one
+/// microsecond later on the sim clock, with a kill switch per direction so
+/// tests can model a lane that swallows traffic (e.g. in-flight acks dying
+/// with a failing transport).
+class TestPipe final : public agent::Channel {
+ public:
+  TestPipe(sim::EventLoop& loop, orch::ContainerId peer_id)
+      : loop_(loop), peer_id_(peer_id) {}
+
+  static std::pair<std::shared_ptr<TestPipe>, std::shared_ptr<TestPipe>> connect(
+      sim::EventLoop& loop, orch::ContainerId a_id, orch::ContainerId b_id) {
+    auto a = std::make_shared<TestPipe>(loop, b_id);
+    auto b = std::make_shared<TestPipe>(loop, a_id);
+    a->peer_pipe_ = b;
+    b->peer_pipe_ = a;
+    return {a, b};
+  }
+
+  Status send(Buffer message) override {
+    if (closed_) return failed_precondition("pipe closed");
+    if (!deliver) return ok_status();  // swallowed by the dying lane
+    auto peer = peer_pipe_.lock();
+    if (peer == nullptr) return ok_status();
+    loop_.schedule(1000, [peer, msg = Buffer(message.data(), message.size())]() mutable {
+      if (!peer->closed_ && peer->on_message_) peer->on_message_(std::move(msg));
+    });
+    return ok_status();
+  }
+  [[nodiscard]] bool writable() const noexcept override { return !closed_; }
+  void set_on_message(DeliverFn cb) override { on_message_ = std::move(cb); }
+  void set_on_space(std::function<void()> /*cb*/) override {}
+  [[nodiscard]] orch::Transport transport() const noexcept override {
+    return orch::Transport::rdma;  // lossy class: the conduit retains/acks
+  }
+  [[nodiscard]] orch::ContainerId peer() const noexcept override { return peer_id_; }
+  void close() noexcept override { closed_ = true; }
+  [[nodiscard]] bool closed() const noexcept override { return closed_; }
+
+  bool deliver = true;
+
+ private:
+  sim::EventLoop& loop_;
+  orch::ContainerId peer_id_;
+  std::weak_ptr<TestPipe> peer_pipe_;
+  DeliverFn on_message_;
+  bool closed_ = false;
+};
+
+/// A short burst leaves the receiver mid-ack-cadence (since_ack_ < 16).
+/// Without the delayed-ack timer the tail is never acked and the sender's
+/// retained window never drains — this is the idle half of the ack-stall
+/// bugfix, and it fails on the pre-fix code.
+TEST(ConduitUnit, DelayedAckDrainsIdleTail) {
+  sim::EventLoop loop;
+  auto a = std::make_shared<Conduit>(1, 10, 20, tcp::Ipv4Addr(10, 0, 0, 1), 80, true);
+  auto b = std::make_shared<Conduit>(1, 20, 10, tcp::Ipv4Addr(10, 0, 0, 2), 80, false);
+  a->set_loop(&loop);
+  b->set_loop(&loop);
+  auto [pa, pb] = TestPipe::connect(loop, 10, 20);
+  a->attach_channel(pa);
+  b->attach_channel(pb);
+
+  for (int i = 0; i < 5; ++i) {
+    WireHeader h;
+    h.type = VMsg::sock_data;
+    a->send(h, Buffer::from_string("x").view());
+  }
+  loop.run_for(10'000);  // delivery only; before the delayed-ack bound
+  EXPECT_EQ(b->messages_received(), 5u);
+  EXPECT_EQ(a->retained_count(), 5u);  // mid-cadence: no piggyback ack yet
+
+  loop.run();  // idle apart from the pending delayed-ack timer
+  EXPECT_EQ(a->retained_count(), 0u);
+  EXPECT_LE(loop.now(), 10'000 + Conduit::k_delayed_ack_ns + 2'000);
+}
+
+/// The blocking half: the receiver's acks die with a failing lane while the
+/// sender fills its whole retained window. After failover the retransmitted
+/// window is all duplicates — rx_next_ never advances, so the piggyback
+/// cadence can never fire again. Pre-fix the sender stays blocked forever;
+/// the duplicate-triggered ack resync (delayed-ack timer) unblocks it.
+TEST(ConduitUnit, AckStallAfterFailoverLostAcks) {
+  sim::EventLoop loop;
+  auto a = std::make_shared<Conduit>(1, 10, 20, tcp::Ipv4Addr(10, 0, 0, 1), 80, true);
+  auto b = std::make_shared<Conduit>(1, 20, 10, tcp::Ipv4Addr(10, 0, 0, 2), 80, false);
+  a->set_loop(&loop);
+  b->set_loop(&loop);
+  auto [pa, pb] = TestPipe::connect(loop, 10, 20);
+  a->attach_channel(pa);
+  b->attach_channel(pb);
+  pb->deliver = false;  // b -> a direction swallows traffic: acks are lost
+
+  const std::uint64_t target = Conduit::k_max_retained + 32;
+  std::uint64_t app_sent = 0;
+  auto pump = [&]() {
+    while (app_sent < target && a->writable()) {
+      WireHeader h;
+      h.type = VMsg::sock_data;
+      a->send(h, Buffer::from_string("y").view());
+      ++app_sent;
+    }
+  };
+  a->set_on_space(pump);
+  pump();
+  loop.run();
+
+  // Sender is wedged: window full, and the receiver — which got everything —
+  // believes it already acked.
+  EXPECT_EQ(app_sent, Conduit::k_max_retained);
+  EXPECT_EQ(a->retained_count(), Conduit::k_max_retained);
+  EXPECT_FALSE(a->writable());
+  EXPECT_EQ(b->messages_received(), Conduit::k_max_retained);
+
+  // Failover: both sides splice onto a healthy channel; the sender replays
+  // its retained window, which the receiver sees purely as duplicates.
+  a->mark_stale();
+  b->mark_stale();
+  auto [pa2, pb2] = TestPipe::connect(loop, 10, 20);
+  a->attach_channel(pa2);
+  b->attach_channel(pb2);
+  loop.run();
+
+  EXPECT_EQ(app_sent, target);
+  EXPECT_EQ(a->retained_count(), 0u);
+  EXPECT_TRUE(a->writable());
+  EXPECT_EQ(a->retransmits(), Conduit::k_max_retained);
+  EXPECT_EQ(b->messages_received(), target);
+}
+
 TEST_F(CoreFixture, AttachRequiresRunningContainer) {
   Env env(1);
   EXPECT_FALSE(env.freeflow().attach(99).is_ok());

@@ -247,13 +247,11 @@ TEST(FaultMatrix, AgentPauseBuffersAndResumes) {
 
 // Missed heartbeats are the detection path of last resort: an agent that
 // goes silent (paused longer than the timeout) gets its lanes declared dead
-// by the peer's monitor.
+// by the peer's monitor. No config opt-in: lane-health monitoring is on by
+// default now that the monitor runs as a maintenance (non-blocking) timer.
 TEST(FaultMatrix, MissedHeartbeatsDeclareLaneDead) {
-  agent::AgentConfig config;
-  config.heartbeat_interval_ns = 200 * k_microsecond;
-  config.heartbeat_timeout_ns = 1 * k_millisecond;
   Env env(2);
-  auto p = attach_pair(env, 0, 1, config);
+  auto p = attach_pair(env, 0, 1);
   auto st = start_stream(env, p, 7005, 1024 * 1024);
   ASSERT_TRUE(env.wait([&]() { return st->done(); }));
 

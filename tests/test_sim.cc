@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "sim/cost_model.h"
@@ -176,6 +177,69 @@ TEST(EventLoop, CountsExecutedEvents) {
   for (int i = 0; i < 7; ++i) loop.schedule(i, []() {});
   loop.run();
   EXPECT_EQ(loop.events_executed(), 7u);
+}
+
+// ---------------------------------------------------------------- quiesce
+
+TEST(EventLoop, MaintenanceEventDoesNotKeepRunAlive) {
+  EventLoop loop;
+  bool maint_fired = false;
+  bool work_fired = false;
+  loop.schedule_maintenance(1'000'000, [&]() { maint_fired = true; });
+  loop.schedule(100, [&]() { work_fired = true; });
+  EXPECT_EQ(loop.queue_size(), 2u);
+  EXPECT_EQ(loop.maintenance_size(), 1u);
+  EXPECT_EQ(loop.blocking_size(), 1u);
+  loop.run();
+  // run() quiesced after the real work: the far-out maintenance timer did
+  // not drag the clock forward, and it is still queued.
+  EXPECT_TRUE(work_fired);
+  EXPECT_FALSE(maint_fired);
+  EXPECT_EQ(loop.now(), 100);
+  EXPECT_EQ(loop.maintenance_size(), 1u);
+}
+
+TEST(EventLoop, MaintenanceFiresUnderRunUntilAndBeforeLaterWork) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_maintenance(10, [&]() { order.push_back(1); });
+  loop.schedule(20, [&]() { order.push_back(2); });
+  // Interleaved with blocking work, maintenance executes in plain time
+  // order — run() only skips it once nothing else remains.
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  loop.schedule_maintenance(10, [&]() { order.push_back(3); });
+  loop.run_until(loop.now() + 100);  // deadline-driven: maintenance fires
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.maintenance_size(), 0u);
+}
+
+TEST(EventLoop, MaintenanceCancelAndRearmKeepAccounting) {
+  EventLoop loop;
+  EventHandle h = loop.schedule_maintenance(50, []() {});
+  EXPECT_TRUE(h.pending());
+  EXPECT_EQ(loop.maintenance_size(), 1u);
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_EQ(loop.maintenance_size(), 0u);
+  EXPECT_EQ(loop.queue_size(), 0u);
+
+  // A self-re-arming maintenance timer (the heartbeat-monitor shape) stays
+  // maintenance across generations and still never blocks run().
+  int ticks = 0;
+  EventHandle timer;
+  std::function<void()> tick = [&]() {
+    ++ticks;
+    if (ticks < 3) timer = loop.schedule_maintenance(10, [&]() { tick(); });
+  };
+  timer = loop.schedule_maintenance(10, [&]() { tick(); });
+  loop.schedule(25, []() {});  // keeps the loop alive past two ticks
+  loop.run();
+  EXPECT_EQ(ticks, 2);  // t=10, t=20 fired; t=30 re-arm left queued
+  EXPECT_EQ(loop.maintenance_size(), 1u);
+  EXPECT_EQ(loop.now(), 25);
+  timer.cancel();
+  EXPECT_EQ(loop.maintenance_size(), 0u);
 }
 
 // --------------------------------------------------------------- Resource

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim_env.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace freeflow::telemetry {
+namespace {
+
+using freeflow::testing::Env;
+
+/// Structural JSON check good enough for exporter output: every brace,
+/// bracket and quote balances, with string contents (and escapes) skipped.
+bool json_balanced(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;  // skip the escaped character
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': stack.push_back(c); break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+// ----------------------------------------------------------- MetricRegistry
+
+TEST(MetricRegistry, LookupOrCreateReturnsStablePointers) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("conduit/1/sent");
+  Gauge& g = reg.gauge("conduit/1/retained");
+  a.inc(3);
+  g.set(7);
+  // Growing the registry must not move existing metrics (deque storage):
+  // instrumented objects cache these pointers for the simulation's lifetime.
+  for (int i = 0; i < 1000; ++i) reg.counter("filler/" + std::to_string(i));
+  EXPECT_EQ(&reg.counter("conduit/1/sent"), &a);
+  EXPECT_EQ(&reg.gauge("conduit/1/retained"), &g);
+  EXPECT_EQ(a.value(), 3u);
+  EXPECT_EQ(g.value(), 7);
+  EXPECT_EQ(reg.size(), 1002u);
+}
+
+TEST(MetricRegistry, CounterIsMonotonic) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("events");
+  std::uint64_t last = c.value();
+  for (int i = 0; i < 100; ++i) {
+    c.inc(static_cast<std::uint64_t>(i % 3));
+    EXPECT_GE(c.value(), last);
+    last = c.value();
+  }
+  EXPECT_EQ(c.value(), 99u);  // 33 * (0+1+2)
+  EXPECT_EQ(reg.counter_value("events"), 99u);
+}
+
+TEST(MetricRegistry, FindNeverCreates) {
+  MetricRegistry reg;
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  EXPECT_EQ(reg.find_gauge("nope"), nullptr);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+  EXPECT_EQ(reg.counter_value("nope"), 0u);
+  EXPECT_EQ(reg.size(), 0u);
+  reg.counter("yes").inc();
+  EXPECT_NE(reg.find_counter("yes"), nullptr);
+  EXPECT_EQ(reg.find_counter("yes")->value(), 1u);
+}
+
+TEST(MetricRegistry, DiscardSinksAreSharedAndInert) {
+  Counter* c = Counter::discard();
+  EXPECT_EQ(c, Counter::discard());
+  c->inc(5);  // lands nowhere observable, no crash
+  EXPECT_EQ(Gauge::discard(), Gauge::discard());
+  EXPECT_EQ(discard_histogram(), discard_histogram());
+}
+
+TEST(MetricRegistry, SnapshotIsSortedDeterministicAndWellFormed) {
+  // Two registries fed the same data in opposite insertion orders must
+  // export byte-identical JSON (names are map-sorted, not insertion-sorted).
+  MetricRegistry a, b;
+  const std::vector<std::string> names = {"z/last", "a/first", "m/mid"};
+  for (const auto& n : names) a.counter(n).inc(2);
+  for (auto it = names.rbegin(); it != names.rend(); ++it) b.counter(*it).inc(2);
+  a.gauge("depth").set(-4);
+  b.gauge("depth").set(-4);
+  a.histogram("lat").record(1000);
+  b.histogram("lat").record(1000);
+  const std::string ja = a.snapshot_json();
+  EXPECT_EQ(ja, b.snapshot_json());
+  EXPECT_TRUE(json_balanced(ja)) << ja;
+  EXPECT_NE(ja.find("\"counters\""), std::string::npos);
+  EXPECT_NE(ja.find("\"a/first\":2"), std::string::npos);
+  EXPECT_NE(ja.find("\"depth\":-4"), std::string::npos);
+  EXPECT_NE(ja.find("\"lat\""), std::string::npos);
+  EXPECT_NE(ja.find("\"count\":1"), std::string::npos);
+  EXPECT_LT(ja.find("\"a/first\""), ja.find("\"m/mid\""));
+  EXPECT_LT(ja.find("\"m/mid\""), ja.find("\"z/last\""));
+}
+
+TEST(MetricRegistry, ProbesSampleAtSnapshotTime) {
+  MetricRegistry reg;
+  double level = 0.25;
+  reg.register_probe("nic/0/tx_utilization", [&level]() { return level; });
+  EXPECT_NE(reg.snapshot_json().find("\"nic/0/tx_utilization\":0.25"),
+            std::string::npos);
+  level = 0.5;  // no re-registration: the probe reads the live value
+  EXPECT_NE(reg.snapshot_json().find("\"nic/0/tx_utilization\":0.5"),
+            std::string::npos);
+  reg.unregister_probe("nic/0/tx_utilization");
+  EXPECT_EQ(reg.snapshot_json().find("tx_utilization"), std::string::npos);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+// ------------------------------------------------------------------ Tracer
+
+TEST(Tracer, RecordsOnVirtualClock) {
+  sim::EventLoop loop;
+  Tracer tracer(&loop);
+  loop.schedule(1500, [&]() { tracer.begin("conduit", "transfer", 1, 42); });
+  loop.schedule(3500, [&]() { tracer.end("conduit", "transfer", 1, 42); });
+  loop.schedule(2000, [&]() { tracer.instant("fault", "rdma_down", 0, 7); });
+  loop.run();
+  ASSERT_EQ(tracer.size(), 3u);
+  EXPECT_EQ(tracer.events()[0].ph, 'B');
+  EXPECT_EQ(tracer.events()[0].ts_ns, 1500);
+  EXPECT_EQ(tracer.events()[1].ph, 'i');
+  EXPECT_EQ(tracer.events()[1].ts_ns, 2000);
+  EXPECT_EQ(tracer.events()[2].ph, 'E');
+  EXPECT_EQ(tracer.events()[2].ts_ns, 3500);
+  EXPECT_EQ(tracer.events()[0].tid, 42u);
+}
+
+TEST(Tracer, ExportJsonWellFormed) {
+  sim::EventLoop loop;
+  Tracer tracer(&loop);
+  tracer.name_process(1, "host 1");
+  tracer.name_thread(1, 42, "conduit \"weird\\name\"");
+  tracer.begin("conduit", "failover", 1, 42);
+  tracer.instant("conduit", "rebind", 1, 42, Tracer::arg("to", "tcp_host"));
+  tracer.end("conduit", "failover", 1, 42);
+  const std::string json = tracer.export_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  // Instants carry scope "t"; args objects ride through verbatim.
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"to\":\"tcp_host\"}"), std::string::npos);
+  // Metadata escapes hostile names instead of corrupting the document.
+  EXPECT_NE(json.find("conduit \\\"weird\\\\name\\\""), std::string::npos);
+}
+
+TEST(Tracer, DisabledTracerDropsEvents) {
+  sim::EventLoop loop;
+  Tracer tracer(&loop);
+  tracer.set_enabled(false);
+  tracer.begin("c", "x", 0, 0);
+  tracer.instant("c", "y", 0, 0);
+  EXPECT_EQ(tracer.size(), 0u);
+  tracer.set_enabled(true);
+  tracer.instant("c", "y", 0, 0);
+  EXPECT_EQ(tracer.size(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+// ------------------------------------------------------------- integration
+
+/// Drives a real transfer and cross-checks the registry against the
+/// conduit's own introspection; then repeats the identical run and demands
+/// a byte-identical snapshot (determinism is what makes telemetry diffable
+/// across seeds and commits).
+TEST(TelemetryIntegration, CountersMatchConduitsAndSnapshotsAreDeterministic) {
+  auto drive = []() {
+    Env env(2);
+    auto a = env.deploy("a", 1, 0);
+    auto b = env.deploy("b", 1, 1);
+    auto na = *env.freeflow().attach(a->id());
+    auto nb = *env.freeflow().attach(b->id());
+    core::FlowSocketPtr client, server;
+    EXPECT_TRUE(nb->sock_listen(80, [&](core::FlowSocketPtr s) { server = s; }).is_ok());
+    na->sock_connect(b->ip(), 80, [&](Result<core::FlowSocketPtr> s) {
+      ASSERT_TRUE(s.is_ok()) << s.status();
+      client = *s;
+    });
+    EXPECT_TRUE(env.wait([&]() { return client != nullptr && server != nullptr; }));
+    std::size_t got = 0;
+    server->set_on_data([&](Buffer&& buf) { got += buf.size(); });
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_TRUE(client->send(Buffer(1024)).is_ok());
+    }
+    EXPECT_TRUE(env.wait([&]() { return got == 40u * 1024u; }));
+
+    auto& metrics = env.cluster.telemetry().metrics();
+    for (const auto& info : na->connections()) {
+      const std::string base = "conduit/" + std::to_string(info.token) + "/c" +
+                               std::to_string(a->id()) + "/";
+      EXPECT_EQ(metrics.counter_value(base + "sent"), info.messages_sent);
+      EXPECT_EQ(metrics.counter_value(base + "retransmits"), info.retransmits);
+    }
+    // Data flowed inter-host, so the NIC counters saw it too.
+    EXPECT_GT(metrics.counter_value("nic/0/tx_bytes/rdma_chunk") +
+                  metrics.counter_value("nic/0/tx_bytes/tcp_frame") +
+                  metrics.counter_value("nic/0/tx_bytes/dpdk_frame"),
+              40u * 1024u);
+    EXPECT_GT(metrics.counter_value("orchestrator/decisions"), 0u);
+    return metrics.snapshot_json();
+  };
+  const std::string s1 = drive();
+  const std::string s2 = drive();
+  EXPECT_TRUE(json_balanced(s1));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1.find("\"conduit/"), std::string::npos);
+  EXPECT_NE(s1.find("\"nic/0/tx_utilization\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace freeflow::telemetry
