@@ -160,7 +160,10 @@ int main(int argc, char** argv) {
     }
     SimDuration elapsed = 0;
     shuffle.run([&]() { return rig.env.loop().now(); },
-                [&](SimDuration e) { elapsed = e; });
+                [&](Result<SimDuration> e) {
+                  FF_CHECK(e.is_ok());
+                  elapsed = *e;
+                });
     FF_CHECK(spin(rig.env.cluster, [&]() { return elapsed != 0; }, 600 * k_second));
     json.add("shuffle_overlay_ns", static_cast<double>(elapsed));
     std::printf("%-26s completion %-10s (%.1f Gb/s aggregate)\n",
@@ -200,7 +203,10 @@ int main(int argc, char** argv) {
       }).is_ok());
     }
     SimDuration elapsed = 0;
-    shuffle.run([&]() { return env.loop().now(); }, [&](SimDuration e) { elapsed = e; });
+    shuffle.run([&]() { return env.loop().now(); }, [&](Result<SimDuration> e) {
+      FF_CHECK(e.is_ok());
+      elapsed = *e;
+    });
     FF_CHECK(spin(env.cluster, [&]() { return elapsed != 0; }, 600 * k_second));
     json.add("shuffle_freeflow_ns", static_cast<double>(elapsed));
     std::printf("%-26s completion %-10s (%.1f Gb/s aggregate)\n",

@@ -8,9 +8,10 @@
 #   3 build-asan     ASan+UBSan config, warnings-as-errors
 #   4 test-asan      ctest under ASan+UBSan with LeakSanitizer ENABLED
 #   5 chaos-smoke    failover matrix (test_faults) under LeakSanitizer
-#   6 bench-smoke    bench_sim_core --json (proves the perf harness runs)
-#   7 trace-validate bench_failover --trace + ci/validate_trace.py
-#   8 perf-gate      ci/perf_gate.py vs the committed baseline
+#   6 examples-smoke quickstart + mapreduce_shuffle run end-to-end (timed)
+#   7 bench-smoke    bench_sim_core + bench_connect_storm --json
+#   8 trace-validate bench_failover --trace + ci/validate_trace.py
+#   9 perf-gate      ci/perf_gate.py vs the committed baselines
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -50,8 +51,17 @@ stage "chaos-smoke (failover matrix under LeakSanitizer)"
 # chaos regression is named by the gate that owns it.
 ./build-asan/tests/test_faults --gtest_brief=1
 
-stage "bench-smoke (bench_sim_core --json)"
+stage "examples-smoke (quickstart + mapreduce_shuffle)"
+# The examples exercise the full user-facing path, including the
+# bidirectional trunk-setup schedule that mapreduce_shuffle's 3x3 flow
+# matrix produces; a hang or an abort here is a regression even if every
+# unit test passes. The stage timer doubles as a coarse wall-clock guard.
+./build/examples/quickstart >/dev/null
+./build/examples/mapreduce_shuffle >/dev/null
+
+stage "bench-smoke (bench_sim_core + bench_connect_storm --json)"
 ./build/bench/bench_sim_core --json build/BENCH_sim_core.json
+./build/bench/bench_connect_storm --json build/BENCH_connect_storm.json
 
 stage "trace-validate (bench_failover --trace + telemetry snapshot)"
 # Runs the failover matrix with Chrome-trace export and checks the trace is
@@ -66,5 +76,7 @@ python3 -c "import json; json.load(open('build/BENCH_failover.json'))"
 
 stage "perf-gate (vs bench/baselines)"
 python3 ci/perf_gate.py build/BENCH_sim_core.json bench/baselines/BENCH_sim_core.json
+python3 ci/perf_gate.py build/BENCH_connect_storm.json \
+  bench/baselines/BENCH_connect_storm.json
 
 stage "all checks passed"

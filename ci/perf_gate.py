@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Perf gate for bench_sim_core (stdlib only).
+"""Perf gate for the bench JSON reports (stdlib only).
 
 Usage: perf_gate.py FRESH_JSON BASELINE_JSON
 
-The CI box is a noisy 1-core machine, so run-to-run deltas are not a
-reliable signal. The gate therefore checks, in order of severity:
+The gate dispatches on the report's ``bench`` name (fresh and baseline must
+match). The CI box is a noisy 1-core machine, so wall-clock deltas are not a
+reliable signal; each gate leans on self-relative or simulated-time metrics
+that box noise cannot touch.
 
+bench_sim_core:
   1. HARD  fresh ``speedup`` >= FLOOR (2.0x): the new event loop must beat
      the embedded seed replica measured in the *same* run — self-relative,
      so box noise cancels out. This is the acceptance floor from PR 1.
@@ -14,6 +17,14 @@ reliable signal. The gate therefore checks, in order of severity:
      enough that a real hot-path regression (lost inlining, reintroduced
      per-event allocation) cannot hide.
   3. INFO  everything else (allocs/event, raw deltas) is printed, not gated.
+
+bench_connect_storm:
+  1. HARD  ``failed`` == 0: every declared flow must establish.
+  2. HARD  ``flows`` >= baseline flows: the storm may not be quietly shrunk.
+  3. HARD  ``setup_p99_ns`` <= baseline * (1 + STORM_P99_TOLERANCE). Setup
+     latency is measured on the simulation clock, which is deterministic,
+     so the tolerance only absorbs intentional cost-model adjustments.
+  4. INFO  races resolved, retries, decide RPC rounds.
 """
 
 import json
@@ -21,23 +32,19 @@ import sys
 
 FLOOR_SPEEDUP = 2.0
 BASELINE_TOLERANCE = 0.40
+STORM_P99_TOLERANCE = 0.25
 
 
-def load_metrics(path):
+def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("bench") != "sim_core":
-        raise SystemExit(f"{path}: expected bench 'sim_core', got {doc.get('bench')!r}")
-    return doc["metrics"]
+    name = doc.get("bench")
+    if not name:
+        raise SystemExit(f"{path}: report has no 'bench' name")
+    return name, doc["metrics"]
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    fresh = load_metrics(argv[1])
-    base = load_metrics(argv[2])
-
+def gate_sim_core(fresh, base):
     failures = []
 
     speedup = fresh.get("speedup", 0.0)
@@ -68,6 +75,70 @@ def main(argv):
             b = f" (baseline {base[key]:.6g})" if key in base else ""
             print(f"perf-gate: info {key} = {fresh[key]:.6g}{b}")
 
+    return failures
+
+
+def gate_connect_storm(fresh, base):
+    failures = []
+
+    failed = fresh.get("failed", -1)
+    print(f"perf-gate: connect storm failed establishments: {failed:.0f} (hard 0)")
+    if failed != 0:
+        failures.append(f"{failed:.0f} flow establishment(s) failed — hard zero")
+
+    flows = fresh.get("flows", 0)
+    base_flows = base.get("flows", 0)
+    print(f"perf-gate: storm size {flows:.0f} flows (baseline {base_flows:.0f})")
+    if flows < base_flows:
+        failures.append(f"storm shrank to {flows:.0f} flows (baseline {base_flows:.0f})")
+
+    p99 = fresh.get("setup_p99_ns", 0.0)
+    base_p99 = base.get("setup_p99_ns", 0.0)
+    if base_p99 > 0:
+        ratio = p99 / base_p99
+        ceiling = 1.0 + STORM_P99_TOLERANCE
+        print(
+            f"perf-gate: setup p99 {p99:.4g}ns vs baseline {base_p99:.4g}ns"
+            f" ({ratio:.0%}; hard ceiling {ceiling:.0%})"
+        )
+        if ratio > ceiling:
+            failures.append(
+                f"setup_p99_ns at {ratio:.0%} of baseline (> {ceiling:.0%}) — "
+                "sim-clock latency regressed, this is not box noise"
+            )
+    else:
+        failures.append("baseline has no setup_p99_ns metric")
+
+    for key in ("setup_p50_ns", "setup_p999_ns", "decide_rpc_rounds",
+                "trunk_setup_races_resolved", "trunk_setup_retries"):
+        if key in fresh:
+            b = f" (baseline {base[key]:.6g})" if key in base else ""
+            print(f"perf-gate: info {key} = {fresh[key]:.6g}{b}")
+
+    return failures
+
+
+GATES = {
+    "sim_core": gate_sim_core,
+    "connect_storm": gate_connect_storm,
+}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    fresh_name, fresh = load(argv[1])
+    base_name, base = load(argv[2])
+    if fresh_name != base_name:
+        raise SystemExit(
+            f"bench mismatch: fresh is {fresh_name!r}, baseline is {base_name!r}"
+        )
+    gate = GATES.get(fresh_name)
+    if gate is None:
+        raise SystemExit(f"no gate registered for bench {fresh_name!r}")
+
+    failures = gate(fresh, base)
     if failures:
         for f in failures:
             print(f"perf-gate: FAIL: {f}", file=sys.stderr)

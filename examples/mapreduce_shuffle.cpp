@@ -81,7 +81,10 @@ int main() {
       }).is_ok());
     }
     shuffle.run([&]() { return cluster.loop().now(); },
-                [&](SimDuration e) { overlay_time = e; });
+                [&](Result<SimDuration> e) {
+                  FF_CHECK(e.is_ok());
+                  overlay_time = *e;
+                });
     FF_CHECK(spin(cluster, [&]() { return overlay_time != 0; }, 600 * k_second));
   }
 
@@ -129,7 +132,10 @@ int main() {
       }).is_ok());
     }
     shuffle.run([&]() { return cluster.loop().now(); },
-                [&](SimDuration e) { freeflow_time = e; });
+                [&](Result<SimDuration> e) {
+                  FF_CHECK(e.is_ok());
+                  freeflow_time = *e;
+                });
     FF_CHECK(spin(cluster, [&]() { return freeflow_time != 0; }, 600 * k_second));
   }
 

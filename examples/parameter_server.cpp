@@ -69,8 +69,10 @@ int main() {
     auto rig = std::make_shared<Rig>();
     rig->name = name;
     rig->worker = std::make_unique<PsWorker>(net, server_c->ip(), cfg);
-    rig->worker->run(server.model_mr_id(),
-                     [rig](SimDuration e) { rig->elapsed = e; });
+    rig->worker->run(server.model_mr_id(), [rig](Result<SimDuration> e) {
+      FF_CHECK(e.is_ok());
+      rig->elapsed = *e;
+    });
     rigs.push_back(std::move(rig));
   }
 

@@ -49,18 +49,47 @@ Agent::Agent(AgentFabric& fabric, fabric::Host& host)
   ctr_heartbeats_ = &metrics.counter(prefix + "heartbeats_sent");
   ctr_lanes_failed_ = &metrics.counter(prefix + "lanes_failed");
   gauge_graveyard_ = &metrics.gauge(prefix + "graveyard");
+  ctr_setup_retries_ = &metrics.counter(prefix + "trunk/setup_retries");
+  ctr_setup_races_ = &metrics.counter(prefix + "trunk/setup_races_resolved");
+  ctr_trunks_retired_ = &metrics.counter(prefix + "trunk/retired");
+  hist_setup_latency_ = &metrics.histogram(prefix + "trunk/setup_latency_ns");
+
+  retry_rng_.reseed(fabric_.config().trunk_retry_seed ^
+                    (0x9E3779B97F4A7C15ULL * (host_.id() + 1)));
 
   // TCP trunk service: peer agents connect here when NICs lack bypass.
+  // Under the single-dialer rule only the lower host id dials, so an
+  // inbound connection always lands on the pair's higher id — where any
+  // local trunk for the key is either the conn-less pending half of our own
+  // in-flight setup (attach and complete it) or a fully established trunk
+  // whose dialer abandoned its old connection and re-dialed (freshest
+  // connection wins).
   const tcp::Endpoint ep{AgentFabric::agent_ip(host_.id()), fabric_.config().tcp_port};
   const Status listening =
       fabric_.underlay().listen(ep, [this](tcp::TcpConnection::Ptr conn) {
         const fabric::HostId peer =
             AgentFabric::host_of_agent_ip(conn->flow().remote.ip);
         const TrunkKey key{peer, orch::Transport::tcp_host};
-        if (!trunks_.contains(key)) {
-          auto trunk = std::make_shared<TcpTrunk>(host_.loop());
-          trunk->attach(std::move(conn));
-          adopt_trunk(key, std::move(trunk));
+        if (auto sit = setups_.find(key); sit != setups_.end()) {
+          auto tit = trunks_.find(key);
+          if (tit != trunks_.end()) {
+            auto pending = std::static_pointer_cast<TcpTrunk>(tit->second);
+            if (!pending->connected()) {
+              pending->attach(std::move(conn));
+              on_setup_result(key, sit->second.gen,
+                              std::static_pointer_cast<Trunk>(pending));
+            }
+            return;  // duplicate SYN against a live setup: drop it
+          }
+          // Setup in backoff (no pending half right now): fall through and
+          // adopt passively; the next attempt finds the established trunk.
+        }
+        if (trunks_.contains(key)) retire_trunk_half(key);
+        auto trunk = std::make_shared<TcpTrunk>(host_.loop());
+        trunk->attach(std::move(conn));
+        adopt_trunk(key, std::move(trunk), /*established=*/true);
+        if (auto sit = setups_.find(key); sit != setups_.end()) {
+          on_setup_result(key, sit->second.gen, trunks_[key]);
         }
       });
   FF_CHECK(listening.is_ok());
@@ -98,6 +127,10 @@ Agent::Agent(AgentFabric& fabric, fabric::Host& host)
 
 Agent::~Agent() {
   monitor_.cancel();
+  for (auto& [key, setup] : setups_) {
+    setup.watchdog.cancel();
+    setup.backoff.cancel();
+  }
   host_.nic().set_on_drop(nullptr);
 }
 
@@ -268,32 +301,116 @@ void Agent::accept_channel(orch::ContainerId src, orch::ContainerId dst,
 void Agent::with_trunk(fabric::HostId peer, orch::Transport transport,
                        std::function<void(Result<Trunk*>)> ready) {
   const TrunkKey key{peer, transport};
+  if (auto sit = setups_.find(key); sit != setups_.end()) {
+    sit->second.waiters.push_back(std::move(ready));  // join the in-flight setup
+    return;
+  }
   if (auto it = trunks_.find(key); it != trunks_.end()) {
     ready(it->second.get());
     return;
   }
-  auto& waiters = trunk_waiters_[key];
-  waiters.push_back(std::move(ready));
-  if (waiters.size() > 1) return;  // setup already in flight
+  TrunkSetup& setup = setups_[key];
+  setup.waiters.push_back(std::move(ready));
+  setup.started_at = host_.loop().now();
+  start_setup_attempt(key);
+}
 
-  auto finish = [this, key](Result<Trunk*> result) {
-    auto pending = std::move(trunk_waiters_[key]);
-    trunk_waiters_.erase(key);
-    for (auto& cb : pending) cb(result);
+void Agent::start_setup_attempt(const TrunkKey& key) {
+  auto it = setups_.find(key);
+  FF_CHECK(it != setups_.end());
+  TrunkSetup& setup = it->second;
+  ++setup.attempt;
+  const std::uint64_t gen = ++setup.gen;
+  // An opposite-direction handshake may have established the lane while we
+  // were backing off; completing with it is this attempt's success.
+  if (auto t = trunks_.find(key); t != trunks_.end() && lane_last_rx_.contains(key)) {
+    on_setup_result(key, gen, t->second);
+    return;
+  }
+  const RetryPolicy& policy = fabric_.config().trunk_retry;
+  if (policy.attempt_timeout_ns > 0) {
+    setup.watchdog = host_.loop().schedule_cancellable(
+        policy.attempt_timeout_ns, [this, key, gen]() {
+          on_setup_result(key, gen, timed_out("trunk setup attempt timed out"));
+        });
+  }
+  auto done = [this, key, gen](Result<std::shared_ptr<Trunk>> result) {
+    on_setup_result(key, gen, std::move(result));
   };
-  switch (transport) {
+  switch (key.transport) {
     case orch::Transport::rdma:
-      setup_rdma_trunk(peer, finish);
+      setup_rdma_trunk(key.peer, std::move(done));
       break;
     case orch::Transport::dpdk:
-      setup_dpdk_trunk(peer, finish);
+      setup_dpdk_trunk(key.peer, std::move(done));
       break;
     case orch::Transport::tcp_host:
-      setup_tcp_trunk(peer, finish);
+      setup_tcp_trunk(key.peer, std::move(done));
       break;
     default:
-      finish(invalid_argument("transport has no trunk"));
+      on_setup_result(key, gen, invalid_argument("transport has no trunk"));
   }
+}
+
+void Agent::on_setup_result(const TrunkKey& key, std::uint64_t gen,
+                            Result<std::shared_ptr<Trunk>> result) {
+  auto it = setups_.find(key);
+  if (it == setups_.end() || it->second.gen != gen) {
+    // A straggler from an abandoned attempt (watchdog fired, lane was
+    // declared dead, or a fresher attempt superseded it). Its trunk — if it
+    // even built one — was already retired when the attempt was abandoned;
+    // adopting anything now would wire a zombie, so drop it on the floor.
+    return;
+  }
+  TrunkSetup& setup = it->second;
+  setup.watchdog.cancel();
+  setup.backoff.cancel();
+  if (result.is_ok()) {
+    std::shared_ptr<Trunk> trunk =
+        adopt_trunk(key, std::move(result.value()), /*established=*/true);
+    hist_setup_latency_->record(host_.loop().now() - setup.started_at);
+    auto waiters = std::move(setup.waiters);
+    setups_.erase(it);
+    for (auto& cb : waiters) cb(trunk.get());
+    return;
+  }
+  setup.last_error = result.status();
+  ++setup.gen;  // invalidate every other callback still in flight for this attempt
+  abandon_pending_trunk(key);
+  const RetryPolicy& policy = fabric_.config().trunk_retry;
+  if (!RetryPolicy::retryable(setup.last_error) ||
+      setup.attempt >= policy.max_attempts) {
+    Status terminal(setup.last_error.code(),
+                    "trunk setup failed after " + std::to_string(setup.attempt) +
+                        " attempt(s): " + setup.last_error.message());
+    auto waiters = std::move(setup.waiters);
+    setups_.erase(it);
+    for (auto& cb : waiters) cb(terminal);
+    return;
+  }
+  ctr_setup_retries_->inc();
+  const SimDuration delay = policy.backoff_for(setup.attempt, retry_rng_);
+  FF_LOG(info, "agent") << host_.name() << ": trunk setup to host " << key.peer
+                        << " over " << orch::transport_name(key.transport)
+                        << " failed (" << setup.last_error << "), attempt "
+                        << setup.attempt << "/" << policy.max_attempts
+                        << ", retrying in " << delay << "ns";
+  setup.backoff = host_.loop().schedule_cancellable(
+      delay, [this, key]() { start_setup_attempt(key); });
+}
+
+void Agent::fail_setup_attempt(const TrunkKey& key, Status error) {
+  auto it = setups_.find(key);
+  if (it == setups_.end()) return;
+  on_setup_result(key, it->second.gen, std::move(error));
+}
+
+bool Agent::trunk_established(fabric::HostId peer, orch::Transport transport) const {
+  return lane_last_rx_.contains(TrunkKey{peer, transport});
+}
+
+bool Agent::setup_in_flight(fabric::HostId peer, orch::Transport transport) const {
+  return setups_.contains(TrunkKey{peer, transport});
 }
 
 rdma::RdmaDevice& Agent::rdma_device() {
@@ -317,15 +434,48 @@ dpdk::DpdkPort& Agent::dpdk_port() {
   return *dpdk_port_;
 }
 
-void Agent::adopt_trunk(const TrunkKey& key, std::shared_ptr<Trunk> trunk) {
-  trunk->set_on_record([this, key](Buffer&& r) {
-    note_lane_rx(key);
-    dispatch_record(std::move(r));
-  });
-  trunk->set_on_drained([this]() { notify_space(); });
-  lane_last_rx_[key] = host_.loop().now();
-  trunks_[key] = std::move(trunk);
-  arm_monitor();
+std::shared_ptr<Trunk> Agent::adopt_trunk(const TrunkKey& key,
+                                          std::shared_ptr<Trunk> trunk,
+                                          bool established) {
+  auto it = trunks_.find(key);
+  if (it != trunks_.end() && it->second != trunk) {
+    // Never clobber: the incumbent (an opposite-direction setup's half, or
+    // a fresher attempt's pending trunk) wins; the newcomer is retired. Its
+    // pump events may hold raw pointers, so graveyard, not free.
+    ctr_setup_races_->inc();
+    retired_trunks_.push_back(std::move(trunk));
+    ctr_trunks_retired_->inc();
+    gauge_graveyard_->set(static_cast<std::int64_t>(retired_trunks_.size()));
+    trunk = it->second;
+  } else if (it == trunks_.end()) {
+    trunk->set_on_record([this, key](Buffer&& r) {
+      note_lane_rx(key);
+      dispatch_record(std::move(r));
+    });
+    trunk->set_on_drained([this]() { notify_space(); });
+    trunks_[key] = trunk;
+  }
+  if (established && !lane_last_rx_.contains(key)) {
+    lane_last_rx_[key] = host_.loop().now();
+    arm_monitor();
+  }
+  return trunk;
+}
+
+void Agent::retire_trunk_half(const TrunkKey& key) {
+  auto it = trunks_.find(key);
+  if (it == trunks_.end()) return;
+  retired_trunks_.push_back(std::move(it->second));
+  ctr_trunks_retired_->inc();
+  gauge_graveyard_->set(static_cast<std::int64_t>(retired_trunks_.size()));
+  trunks_.erase(it);
+  lane_last_rx_.erase(key);
+  fail_endpoints_on(key.peer, key.transport);
+}
+
+void Agent::abandon_pending_trunk(const TrunkKey& key) {
+  if (lane_last_rx_.contains(key)) return;  // established: not an abandoned half
+  retire_trunk_half(key);
 }
 
 void Agent::note_lane_rx(const TrunkKey& key) {
@@ -333,42 +483,62 @@ void Agent::note_lane_rx(const TrunkKey& key) {
   if (it != lane_last_rx_.end()) it->second = host_.loop().now();
 }
 
-void Agent::setup_rdma_trunk(fabric::HostId peer,
-                             std::function<void(Result<Trunk*>)> ready) {
+void Agent::setup_rdma_trunk(fabric::HostId peer, SetupDoneFn done) {
   if (!host_.nic().capabilities().rdma) {
-    ready(failed_precondition("local NIC is not RDMA-capable"));
+    done(failed_precondition("local NIC is not RDMA-capable"));
     return;
   }
   const auto& cfg = fabric_.config();
   const std::size_t slot = cfg.fragment_bytes + RelayHeader::k_size;
+  const TrunkKey key{peer, orch::Transport::rdma};
   auto trunk = std::make_shared<RdmaTrunk>(rdma_device(), account_, cfg.zero_copy,
                                            slot, cfg.rdma_slots);
-  trunk->set_on_record([this](Buffer&& r) { dispatch_record(std::move(r)); });
-  trunk->set_on_drained([this]() { notify_space(); });
+  // Pending adoption: the half-trunk goes into the map *before* the
+  // handshake leaves, so an opposite-direction setup arriving mid-flight
+  // finds and joins it instead of building a rival (sends queue safely —
+  // the pump no-ops until the QP is ready).
+  adopt_trunk(key, trunk, /*established=*/false);
 
   Agent* peer_agent = &fabric_.agent_on(peer);
   const fabric::HostId self_host = host_.id();
   const rdma::QpNum my_qp = trunk->qp()->num();
 
   fabric::send_control(host_, peer, k_ctrl_bytes,
-                       [this, peer_agent, trunk, self_host, my_qp, peer, ready]() {
+                       [this, key, peer_agent, trunk, self_host, my_qp, peer, done]() {
     if (!peer_agent->host().nic().capabilities().rdma) {
-      fabric::send_control(peer_agent->host(), self_host, k_ctrl_bytes, [ready]() {
-        ready(failed_precondition("peer NIC is not RDMA-capable"));
+      fabric::send_control(peer_agent->host(), self_host, k_ctrl_bytes, [done]() {
+        done(failed_precondition("peer NIC is not RDMA-capable"));
       });
       return;
     }
-    // Peer side: get-or-create its trunk toward us and wire its QP.
+    // Peer side: get-or-create its trunk toward us and wire its QP. Finding
+    // a pending half here IS the bidirectional race — the peer's own setup
+    // is in flight toward us — and both handshakes converge on the same two
+    // QPs (each side connects its QP at most once, whichever control
+    // message lands first).
     const TrunkKey peer_key{self_host, orch::Transport::rdma};
     std::shared_ptr<RdmaTrunk> peer_trunk;
     if (auto it = peer_agent->trunks_.find(peer_key); it != peer_agent->trunks_.end()) {
       peer_trunk = std::static_pointer_cast<RdmaTrunk>(it->second);
-    } else {
+      if (peer_trunk->qp()->state() == rdma::QpState::ready &&
+          peer_trunk->qp()->remote_qp() != my_qp) {
+        // Stale half: its QP is wired to a QP we already abandoned (an
+        // earlier attempt that timed out). A connected QP cannot be
+        // re-pointed, so replace the half outright.
+        peer_agent->retire_trunk_half(peer_key);
+        peer_trunk = nullptr;
+      } else if (peer_agent->setups_.contains(peer_key)) {
+        peer_agent->ctr_setup_races_->inc();
+      }
+    }
+    if (peer_trunk == nullptr) {
       const auto& pcfg = peer_agent->fabric_.config();
       peer_trunk = std::make_shared<RdmaTrunk>(
           peer_agent->rdma_device(), peer_agent->account_, pcfg.zero_copy,
           pcfg.fragment_bytes + RelayHeader::k_size, pcfg.rdma_slots);
-      peer_agent->adopt_trunk(peer_key, peer_trunk);
+      // Passive half: established right away — if we die before finishing,
+      // the peer's heartbeat monitor reaps it.
+      peer_agent->adopt_trunk(peer_key, peer_trunk, /*established=*/true);
     }
     if (peer_trunk->qp()->state() != rdma::QpState::ready) {
       FF_CHECK(peer_trunk->qp()->connect(self_host, my_qp).is_ok());
@@ -376,82 +546,120 @@ void Agent::setup_rdma_trunk(fabric::HostId peer,
     }
     const rdma::QpNum peer_qp = peer_trunk->qp()->num();
     fabric::send_control(peer_agent->host(), self_host, k_ctrl_bytes,
-                         [this, trunk, peer_agent, peer_key, peer_trunk, peer,
-                          peer_qp, ready]() {
-      // The lane can die while this handshake is in flight: the peer then
-      // retires its half and mirrors the declare here — before our half is
-      // adopted, so the mirror finds nothing. Adopting now would wire a
-      // zombie trunk into the map; fail the establish instead (the caller's
-      // re-decision loop retries once health settles).
-      auto it = peer_agent->trunks_.find(peer_key);
-      if (it == peer_agent->trunks_.end() || it->second != peer_trunk) {
-        ready(unavailable("rdma lane died during trunk setup"));
+                         [this, key, trunk, peer_agent, peer_key, peer_trunk, peer,
+                          peer_qp, done]() {
+      // The lane can die while this handshake is in flight: whichever side
+      // was declared dead retired its half, so an identity mismatch on
+      // either end fails the attempt (the retry driver backs off and tries
+      // again; wiring a zombie would be worse).
+      auto pit = peer_agent->trunks_.find(peer_key);
+      if (pit == peer_agent->trunks_.end() || pit->second != peer_trunk) {
+        done(unavailable("rdma lane died during trunk setup"));
         return;
       }
-      FF_CHECK(trunk->qp()->connect(peer, peer_qp).is_ok());
-      trunk->start();
-      adopt_trunk(TrunkKey{peer, orch::Transport::rdma}, trunk);
-      ready(trunk.get());
+      auto lit = trunks_.find(key);
+      if (lit == trunks_.end() || lit->second != trunk) {
+        done(unavailable("rdma lane died during trunk setup"));
+        return;
+      }
+      if (trunk->qp()->state() != rdma::QpState::ready) {
+        FF_CHECK(trunk->qp()->connect(peer, peer_qp).is_ok());
+        trunk->start();
+      }
+      done(std::static_pointer_cast<Trunk>(trunk));
     });
   });
 }
 
-void Agent::setup_dpdk_trunk(fabric::HostId peer,
-                             std::function<void(Result<Trunk*>)> ready) {
+void Agent::setup_dpdk_trunk(fabric::HostId peer, SetupDoneFn done) {
   if (!host_.nic().capabilities().dpdk) {
-    ready(failed_precondition("local NIC does not support DPDK"));
+    done(failed_precondition("local NIC does not support DPDK"));
     return;
   }
   dpdk_port().start();
+  const TrunkKey key{peer, orch::Transport::dpdk};
+  auto trunk = std::static_pointer_cast<Trunk>(std::make_shared<DpdkTrunk>(dpdk_port(), peer));
+  adopt_trunk(key, trunk, /*established=*/false);  // pending adoption (see rdma)
   Agent* peer_agent = &fabric_.agent_on(peer);
   const fabric::HostId self_host = host_.id();
   fabric::send_control(host_, peer, k_ctrl_bytes,
-                       [this, peer_agent, self_host, peer, ready]() {
+                       [this, key, trunk, peer_agent, self_host, peer, done]() {
     if (!peer_agent->host().nic().capabilities().dpdk) {
-      fabric::send_control(peer_agent->host(), self_host, k_ctrl_bytes, [ready]() {
-        ready(failed_precondition("peer NIC does not support DPDK"));
+      fabric::send_control(peer_agent->host(), self_host, k_ctrl_bytes, [done]() {
+        done(failed_precondition("peer NIC does not support DPDK"));
       });
       return;
     }
     peer_agent->dpdk_port().start();
-    // Peer-side trunk toward us so its containers can answer.
+    // Peer-side trunk toward us so its containers can answer. An existing
+    // pending half is the peer's own opposite-direction setup: join it.
     const TrunkKey peer_key{self_host, orch::Transport::dpdk};
-    if (!peer_agent->trunks_.contains(peer_key)) {
-      peer_agent->adopt_trunk(
-          peer_key, std::make_shared<DpdkTrunk>(peer_agent->dpdk_port(), self_host));
+    std::shared_ptr<Trunk> peer_trunk;
+    if (auto it = peer_agent->trunks_.find(peer_key); it != peer_agent->trunks_.end()) {
+      peer_trunk = it->second;
+      if (peer_agent->setups_.contains(peer_key)) {
+        peer_agent->ctr_setup_races_->inc();
+      }
+    } else {
+      peer_trunk = std::make_shared<DpdkTrunk>(peer_agent->dpdk_port(), self_host);
+      peer_agent->adopt_trunk(peer_key, peer_trunk, /*established=*/true);
     }
     fabric::send_control(peer_agent->host(), self_host, k_ctrl_bytes,
-                         [this, peer_agent, peer_key, peer, ready]() {
-      // Same mid-setup death race as the RDMA trunk: if the peer's half was
-      // declared dead while the handshake was in flight, don't adopt ours.
-      if (!peer_agent->trunks_.contains(peer_key)) {
-        ready(unavailable("dpdk lane died during trunk setup"));
+                         [this, key, trunk, peer_agent, peer_key, peer_trunk, done]() {
+      // Same mid-setup death race as the RDMA trunk: if either half was
+      // declared dead while the handshake was in flight, fail the attempt.
+      auto pit = peer_agent->trunks_.find(peer_key);
+      if (pit == peer_agent->trunks_.end() || pit->second != peer_trunk) {
+        done(unavailable("dpdk lane died during trunk setup"));
         return;
       }
-      auto trunk = std::make_shared<DpdkTrunk>(dpdk_port(), peer);
-      Trunk* raw = trunk.get();
-      adopt_trunk(TrunkKey{peer, orch::Transport::dpdk}, std::move(trunk));
-      ready(raw);
+      auto lit = trunks_.find(key);
+      if (lit == trunks_.end() || lit->second != trunk) {
+        done(unavailable("dpdk lane died during trunk setup"));
+        return;
+      }
+      done(trunk);
     });
   });
 }
 
-void Agent::setup_tcp_trunk(fabric::HostId peer,
-                            std::function<void(Result<Trunk*>)> ready) {
-  fabric_.agent_on(peer);  // peer must be listening
-  const tcp::Endpoint local{AgentFabric::agent_ip(host_.id()), 0};
-  const tcp::Endpoint remote{AgentFabric::agent_ip(peer), fabric_.config().tcp_port};
-  fabric_.underlay().connect(local, remote,
-                             [this, peer, ready](Result<tcp::TcpConnection::Ptr> conn) {
-    if (!conn.is_ok()) {
-      ready(conn.status());
-      return;
-    }
-    auto trunk = std::make_shared<TcpTrunk>(host_.loop());
-    trunk->attach(std::move(conn.value()));
-    Trunk* raw = trunk.get();
-    adopt_trunk(TrunkKey{peer, orch::Transport::tcp_host}, std::move(trunk));
-    ready(raw);
+void Agent::setup_tcp_trunk(fabric::HostId peer, SetupDoneFn done) {
+  const TrunkKey key{peer, orch::Transport::tcp_host};
+  Agent* peer_agent = &fabric_.agent_on(peer);  // peer must be listening
+  auto trunk = std::make_shared<TcpTrunk>(host_.loop());
+  adopt_trunk(key, std::static_pointer_cast<Trunk>(trunk), /*established=*/false);
+  if (host_.id() < peer) {
+    // Single-dialer rule: the lower host id owns the connection. The
+    // higher side never dials, so simultaneous setups can no longer cross
+    // two connections (each side attaching its own dial while the rival
+    // accept is dropped).
+    const tcp::Endpoint local{AgentFabric::agent_ip(host_.id()), 0};
+    const tcp::Endpoint remote{AgentFabric::agent_ip(peer), fabric_.config().tcp_port};
+    fabric_.underlay().connect(local, remote,
+                               [this, key, trunk, done](Result<tcp::TcpConnection::Ptr> conn) {
+      if (!conn.is_ok()) {
+        done(conn.status());
+        return;
+      }
+      auto lit = trunks_.find(key);
+      if (lit == trunks_.end() || lit->second != std::static_pointer_cast<Trunk>(trunk)) {
+        done(unavailable("tcp lane died during trunk setup"));
+        return;
+      }
+      trunk->attach(std::move(conn.value()));
+      done(std::static_pointer_cast<Trunk>(trunk));
+    });
+    return;
+  }
+  // Higher host id: ask the peer (the connection owner) to dial us; our
+  // listener attaches the inbound connection to the pending half above and
+  // completes this setup (see the listen handler in the ctor). The peer
+  // joins its own in-flight setup if one is already running — that is the
+  // serialization point for the bidirectional TCP race.
+  const fabric::HostId self_host = host_.id();
+  fabric::send_control(host_, peer, k_ctrl_bytes, [peer_agent, self_host]() {
+    peer_agent->with_trunk(self_host, orch::Transport::tcp_host,
+                           [](Result<Trunk*>) {});
   });
 }
 
@@ -590,20 +798,16 @@ void Agent::send_heartbeat(const TrunkKey& key) {
 
 void Agent::declare_lane_failed(fabric::HostId peer, orch::Transport transport) {
   const TrunkKey key{peer, transport};
-  auto it = trunks_.find(key);
-  if (it == trunks_.end()) return;
+  if (!trunks_.contains(key)) return;
   ++lanes_failed_;
   ctr_lanes_failed_->inc();
   FF_LOG(info, "agent") << host_.name() << ": lane to host " << peer << " over "
                         << orch::transport_name(transport) << " declared dead";
-  retired_trunks_.push_back(std::move(it->second));
-  gauge_graveyard_->set(static_cast<std::int64_t>(retired_trunks_.size()));
-  trunks_.erase(it);
-  lane_last_rx_.erase(key);
-  // Fail the endpoints first so their conduits detach and go stale, then
-  // report: the report's health callback is what triggers re-decision, and
-  // by then every victim must already know its old lane is gone.
-  fail_endpoints_on(peer, transport);
+  // Fail the endpoints first (retire_trunk_half does) so their conduits
+  // detach and go stale, then report: the report's health callback is what
+  // triggers re-decision, and by then every victim must already know its
+  // old lane is gone.
+  retire_trunk_half(key);
   // A trunk is a pair: the mirror half on the peer agent is equally dead
   // (its QP would error, its connection reset). Retiring both sides keeps
   // trunk state symmetric, so a later re-establish builds a fresh pair
@@ -611,6 +815,10 @@ void Agent::declare_lane_failed(fabric::HostId peer, orch::Transport transport) 
   // side is already erased.
   fabric_.agent_on(peer).declare_lane_failed(host_.id(), transport);
   fabric_.orchestrator().report_lane_failure(host_.id(), peer, transport);
+  // A setup riding this lane (the trunk died mid-handshake) turns into one
+  // failed attempt: the retry driver backs off and re-establishes instead
+  // of leaving the waiters with a permanent `unavailable`.
+  fail_setup_attempt(key, unavailable("lane died during trunk setup"));
 }
 
 void Agent::fail_endpoints_on(fabric::HostId peer, orch::Transport transport) {

@@ -13,6 +13,7 @@
 #include "agent/channel.h"
 #include "agent/relay.h"
 #include "agent/trunk.h"
+#include "common/rng.h"
 #include "dpdk/pmd.h"
 #include "sim/event_loop.h"
 #include "shm/region.h"
@@ -93,6 +94,15 @@ class Agent {
   void declare_lane_failed(fabric::HostId peer, orch::Transport transport);
   [[nodiscard]] std::uint64_t lanes_failed() const noexcept { return lanes_failed_; }
 
+  /// True once the trunk toward (`peer`, `transport`) is fully established
+  /// (monitored by the heartbeat clock) — pending half-trunks mid-handshake
+  /// return false. Test/bench introspection.
+  [[nodiscard]] bool trunk_established(fabric::HostId peer,
+                                       orch::Transport transport) const;
+  /// True while a setup (any attempt of it) is in flight for the key.
+  [[nodiscard]] bool setup_in_flight(fabric::HostId peer,
+                                     orch::Transport transport) const;
+
  private:
   friend class AgentFabric;
 
@@ -102,23 +112,56 @@ class Agent {
     auto operator<=>(const TrunkKey&) const = default;
   };
 
+  /// One attempt's completion: the built trunk, or why it failed. The
+  /// shared_ptr (not a raw Trunk*) lets the retry driver adopt-or-retire the
+  /// result after checking the attempt is still the live generation.
+  using SetupDoneFn = std::function<void(Result<std::shared_ptr<Trunk>>)>;
+
   void establish_shm(orch::ContainerId src, orch::ContainerId dst, EstablishFn done);
   void establish_remote(orch::ContainerId src, orch::ContainerId dst,
                         fabric::HostId dst_host, orch::Transport transport,
                         EstablishFn done);
-  /// Gets or builds the trunk to `peer`; `ready` fires when usable.
+  /// Gets or builds the trunk to `peer`; `ready` fires when usable (or with
+  /// the terminal error once the retry budget is spent). Opposite-direction
+  /// and repeated requests for the same key join the in-flight setup as
+  /// waiters — one establishment per (host pair, transport) at a time.
   void with_trunk(fabric::HostId peer, orch::Transport transport,
                   std::function<void(Result<Trunk*>)> ready);
-  void setup_rdma_trunk(fabric::HostId peer, std::function<void(Result<Trunk*>)> ready);
-  void setup_dpdk_trunk(fabric::HostId peer, std::function<void(Result<Trunk*>)> ready);
-  void setup_tcp_trunk(fabric::HostId peer, std::function<void(Result<Trunk*>)> ready);
+  /// One handshake attempt each; establishment/retry is driven by
+  /// start_setup_attempt / on_setup_result.
+  void setup_rdma_trunk(fabric::HostId peer, SetupDoneFn done);
+  void setup_dpdk_trunk(fabric::HostId peer, SetupDoneFn done);
+  void setup_tcp_trunk(fabric::HostId peer, SetupDoneFn done);
+
+  /// Launches the next attempt for the key's in-flight setup (arming the
+  /// per-attempt watchdog), and the attempt's single completion point: a
+  /// stale generation is ignored, success establishes the trunk and fires
+  /// the waiters, a retryable failure schedules backoff, anything else (or
+  /// a spent budget) fails the waiters terminally.
+  void start_setup_attempt(const TrunkKey& key);
+  void on_setup_result(const TrunkKey& key, std::uint64_t gen,
+                       Result<std::shared_ptr<Trunk>> result);
+  /// Converts an external event (lane death mid-handshake) into a failure
+  /// of the key's current attempt. No-op without an in-flight setup.
+  void fail_setup_attempt(const TrunkKey& key, Status error);
 
   rdma::RdmaDevice& rdma_device();
   dpdk::DpdkPort& dpdk_port();
 
-  /// Single point of trunk registration: wires keyed record/drain callbacks,
-  /// starts the lane's rx clock, and (re)arms the health monitor.
-  void adopt_trunk(const TrunkKey& key, std::shared_ptr<Trunk> trunk);
+  /// Single point of trunk registration: wires keyed record/drain callbacks
+  /// and, once `established`, starts the lane's rx clock and (re)arms the
+  /// health monitor. Idempotent-or-merge, never clobber: if a different
+  /// trunk already holds the key, the incumbent wins and the newcomer goes
+  /// to the graveyard. Returns the surviving trunk.
+  std::shared_ptr<Trunk> adopt_trunk(const TrunkKey& key, std::shared_ptr<Trunk> trunk,
+                                     bool established);
+  /// Moves the key's trunk (pending or established) to the graveyard and
+  /// fails the endpoints riding it. Local bookkeeping only — no mirror to
+  /// the peer, no orchestrator report (declare_lane_failed adds those).
+  void retire_trunk_half(const TrunkKey& key);
+  /// Retires the key's trunk only if it never established (a failed
+  /// attempt's half-built half-trunk).
+  void abandon_pending_trunk(const TrunkKey& key);
   /// Marks rx activity on a monitored lane (no-op for retired lanes).
   void note_lane_rx(const TrunkKey& key);
   void arm_monitor();
@@ -148,8 +191,26 @@ class Agent {
   sim::UsageAccount account_;
 
   std::unordered_map<orch::ContainerId, IncomingFn> containers_;
+  /// Every trunk the agent knows by key — pending halves mid-handshake
+  /// included (so an opposite-direction setup can find and join them).
+  /// "Established" is tracked by lane_last_rx_ membership: only established
+  /// lanes are heartbeat-monitored, so a slow handshake with backoff is
+  /// never declared dead by its own agent.
   std::map<TrunkKey, std::shared_ptr<Trunk>> trunks_;
-  std::map<TrunkKey, std::vector<std::function<void(Result<Trunk*>)>>> trunk_waiters_;
+
+  /// In-flight establishment per key: the waiters to fire, the retry
+  /// budget's position, and the generation stamp that invalidates late
+  /// callbacks from abandoned attempts.
+  struct TrunkSetup {
+    std::vector<std::function<void(Result<Trunk*>)>> waiters;
+    int attempt = 0;          ///< attempts started (1-based once running)
+    std::uint64_t gen = 0;    ///< bumped at attempt start and on failure
+    SimTime started_at = 0;   ///< first attempt's start (latency histogram)
+    Status last_error;
+    sim::EventHandle watchdog;
+    sim::EventHandle backoff;
+  };
+  std::map<TrunkKey, TrunkSetup> setups_;
   /// Weak: the conduit (via its ChannelPtr) owns the endpoint; this map is
   /// only the inbound-record routing table, so agent registration can never
   /// keep a closed channel alive (ownership stays a DAG).
@@ -188,11 +249,18 @@ class Agent {
   bool monitor_armed_ = false;
   std::uint64_t lanes_failed_ = 0;
 
+  /// Deterministic per-agent jitter source for retry backoff.
+  Rng retry_rng_;
+
   // Telemetry (wired in the ctor from the cluster hub; the registry-owned
   // metrics safely outlive this agent).
   telemetry::Counter* ctr_heartbeats_ = telemetry::Counter::discard();
   telemetry::Counter* ctr_lanes_failed_ = telemetry::Counter::discard();
   telemetry::Gauge* gauge_graveyard_ = telemetry::Gauge::discard();
+  telemetry::Counter* ctr_setup_retries_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_setup_races_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_trunks_retired_ = telemetry::Counter::discard();
+  Histogram* hist_setup_latency_ = telemetry::discard_histogram();
 
   // ---- pause (fault injection) ------------------------------------------
   bool paused_ = false;

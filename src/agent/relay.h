@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "orchestrator/container.h"
@@ -76,6 +77,16 @@ struct AgentConfig {
   /// still detecting real lane death within ~10 ms of virtual time.
   SimDuration heartbeat_interval_ns = k_millisecond;
   SimDuration heartbeat_timeout_ns = 10 * k_millisecond;
+
+  /// Trunk establishment retry budget (with_trunk / setup_*_trunk): transient
+  /// setup failures — a lane dying mid-handshake, a setup race resolving
+  /// against us, an attempt watchdog firing — degrade to delayed
+  /// establishment with exponential backoff instead of a permanent
+  /// `unavailable`. After the budget the caller sees one terminal error.
+  RetryPolicy trunk_retry;
+  /// Base seed for the per-agent backoff-jitter Rng (xored with the host id,
+  /// so agents jitter independently yet the whole run stays reproducible).
+  std::uint64_t trunk_retry_seed = 0x7EE7F10017ULL;
 };
 
 }  // namespace freeflow::agent

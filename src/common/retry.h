@@ -1,0 +1,63 @@
+// Bounded-retry policy: exponential backoff with deterministic seeded
+// jitter, expressed entirely on the simulation clock. Users (the agent's
+// trunk establishment foremost) drive the schedule themselves — the policy
+// only answers "is this error worth retrying?" and "how long until the
+// next attempt?", so the same policy value reproduces the same schedule
+// from the same Rng seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace freeflow {
+
+struct RetryPolicy {
+  int max_attempts = 6;                 ///< total tries, first attempt included
+  SimDuration initial_backoff_ns = 50 * k_microsecond;
+  double backoff_multiplier = 2.0;
+  SimDuration max_backoff_ns = 5 * k_millisecond;
+  /// Each backoff is scaled by a factor uniform in [1-j, 1+j]; jitter keeps
+  /// a storm of same-tick failures from retrying in lockstep.
+  double jitter_fraction = 0.2;
+  /// Watchdog per attempt: a handshake that neither completes nor fails
+  /// within this window is abandoned and counted as one failed attempt.
+  /// 0 disables the watchdog.
+  SimDuration attempt_timeout_ns = 10 * k_millisecond;
+
+  /// Backoff before attempt `completed_attempts + 1` (so pass 1 after the
+  /// first failure). Deterministic given the Rng state.
+  [[nodiscard]] SimDuration backoff_for(int completed_attempts, Rng& rng) const noexcept {
+    double nominal = static_cast<double>(initial_backoff_ns);
+    for (int i = 1; i < completed_attempts; ++i) {
+      nominal *= backoff_multiplier;
+      if (nominal >= static_cast<double>(max_backoff_ns)) break;
+    }
+    nominal = std::min(nominal, static_cast<double>(max_backoff_ns));
+    const double jitter = 1.0 + jitter_fraction * (2.0 * rng.next_double() - 1.0);
+    const auto delay = static_cast<SimDuration>(nominal * jitter);
+    return std::max<SimDuration>(delay, 1);
+  }
+
+  /// Transient errors worth another attempt. Structural errors (bad
+  /// argument, missing capability, permission) fail immediately: retrying
+  /// cannot change them.
+  [[nodiscard]] static bool retryable(const Status& s) noexcept {
+    switch (s.code()) {
+      case Errc::unavailable:
+      case Errc::timed_out:
+      case Errc::aborted:
+      case Errc::connection_reset:
+      case Errc::connection_refused:
+      case Errc::resource_exhausted:
+        return true;
+      default:
+        return false;
+    }
+  }
+};
+
+}  // namespace freeflow

@@ -12,6 +12,9 @@ TransportSelector::TransportSelector(orch::NetworkOrchestrator& orchestrator,
                                      sim::EventLoop& loop)
     : orchestrator_(orchestrator), loop_(loop) {
   orchestrator_.subscribe_moves([this](const orch::Container& c) { invalidate(c.id()); });
+  auto& metrics = orchestrator_.cluster_orch().cluster().telemetry().metrics();
+  ctr_rpc_rounds_ = &metrics.counter("selector/decide_rpc_rounds");
+  ctr_coalesced_ = &metrics.counter("selector/decide_coalesced");
 }
 
 void TransportSelector::decide(orch::ContainerId src, orch::ContainerId dst,
@@ -24,17 +27,37 @@ void TransportSelector::decide(orch::ContainerId src, orch::ContainerId dst,
     return;
   }
   ++misses_;
+  batch_.push_back(PendingQuery{key, src, dst, std::move(cb)});
+  if (flush_scheduled_) return;  // riding the round already in flight
+  flush_scheduled_ = true;
   const SimDuration rpc =
       orchestrator_.cluster_orch().cluster().cost_model().orchestrator_rpc_ns;
+  loop_.schedule(rpc, [this]() { flush(); });
+}
+
+void TransportSelector::flush() {
+  flush_scheduled_ = false;
+  std::vector<PendingQuery> round;
+  round.swap(batch_);  // queries arriving during callbacks start a new round
+  ++rounds_;
+  ctr_rpc_rounds_->inc();
+  if (round.size() > 1) ctr_coalesced_->inc(round.size() - 1);
   const SimDuration ttl =
       orchestrator_.cluster_orch().cluster().cost_model().location_cache_ttl_ns;
-  loop_.schedule(rpc, [this, src, dst, key, ttl, cb = std::move(cb)]() {
-    auto decision = orchestrator_.decide(src, dst);
-    if (decision.is_ok()) {
-      cache_[key] = CacheEntry{*decision, loop_.now() + ttl};
+  for (auto& q : round) {
+    // Duplicate keys in one round resolve from the entry the first answer
+    // cached — the orchestrator is consulted once per distinct pair.
+    if (auto it = cache_.find(q.key);
+        it != cache_.end() && it->second.fresh_until >= loop_.now()) {
+      q.cb(it->second.decision);
+      continue;
     }
-    cb(std::move(decision));
-  });
+    auto decision = orchestrator_.decide(q.src, q.dst);
+    if (decision.is_ok()) {
+      cache_[q.key] = CacheEntry{*decision, loop_.now() + ttl};
+    }
+    q.cb(std::move(decision));
+  }
 }
 
 void TransportSelector::invalidate(orch::ContainerId container) {

@@ -3,13 +3,21 @@
 // newest container location information from the network orchestrator"
 // (paper §3.2); we cache decisions with a TTL and invalidate eagerly on
 // move notifications, so steady-state traffic pays no control-plane RTT.
+//
+// Misses are batched: every query that arrives within one RPC window rides
+// the same orchestrator round instead of paying its own. Under a connect
+// storm (thousands of flows declared the same tick) this collapses N
+// control-plane round-trips into one, which is what keeps setup-latency
+// tails flat as the storm grows.
 #pragma once
 
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "orchestrator/network_orchestrator.h"
 #include "sim/event_loop.h"
+#include "telemetry/metrics.h"
 
 namespace freeflow::core {
 
@@ -18,7 +26,8 @@ class TransportSelector {
   TransportSelector(orch::NetworkOrchestrator& orchestrator, sim::EventLoop& loop);
 
   /// Decides the transport from `src` to `dst`. Cached answers return after
-  /// one scheduling quantum; misses pay the orchestrator RPC latency.
+  /// one scheduling quantum; misses join the current batch and pay (one
+  /// shared) orchestrator RPC latency.
   void decide(orch::ContainerId src, orch::ContainerId dst,
               std::function<void(Result<orch::TransportDecision>)> cb);
 
@@ -27,6 +36,8 @@ class TransportSelector {
 
   [[nodiscard]] std::uint64_t cache_hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t cache_misses() const noexcept { return misses_; }
+  /// Orchestrator round-trips actually paid (≤ cache_misses() under storms).
+  [[nodiscard]] std::uint64_t rpc_rounds() const noexcept { return rounds_; }
 
  private:
   struct CacheEntry {
@@ -34,11 +45,25 @@ class TransportSelector {
     SimTime fresh_until = 0;
   };
 
+  struct PendingQuery {
+    std::uint64_t key = 0;
+    orch::ContainerId src = 0;
+    orch::ContainerId dst = 0;
+    std::function<void(Result<orch::TransportDecision>)> cb;
+  };
+
+  void flush();
+
   orch::NetworkOrchestrator& orchestrator_;
   sim::EventLoop& loop_;
   std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::vector<PendingQuery> batch_;
+  bool flush_scheduled_ = false;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t rounds_ = 0;
+  telemetry::Counter* ctr_rpc_rounds_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_coalesced_ = telemetry::Counter::discard();
 };
 
 }  // namespace freeflow::core

@@ -31,6 +31,7 @@ void PsWorker::run(std::uint32_t server_mr_id, DoneFn done) {
                    [this, done = std::move(done)](Result<core::VirtualQpPtr> qp) mutable {
     if (!qp.is_ok()) {
       FF_LOG(warn, "ps") << "worker QP setup failed: " << qp.status();
+      done(qp.status());
       return;
     }
     qp_ = std::move(qp.value());

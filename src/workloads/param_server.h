@@ -40,12 +40,14 @@ class ParamServer {
 
 class PsWorker {
  public:
-  using DoneFn = std::function<void(SimDuration elapsed_ns)>;
+  using DoneFn = std::function<void(Result<SimDuration>)>;
 
   PsWorker(core::ContainerNetPtr worker_net, tcp::Ipv4Addr server_ip,
            ParamServer::Config config);
 
-  /// Runs `iterations` of push(WRITE)+pull(READ); done(elapsed) at the end.
+  /// Runs `iterations` of push(WRITE)+pull(READ); done(elapsed) at the end,
+  /// or done(error) if the worker's QP setup terminally fails (the loop
+  /// would otherwise never start and the caller would hang).
   void run(std::uint32_t server_mr_id, DoneFn done);
 
   [[nodiscard]] orch::Transport transport() const noexcept {

@@ -6,7 +6,8 @@
 
 namespace freeflow::workloads {
 
-void Shuffle::run(std::function<SimTime()> now, std::function<void(SimDuration)> done) {
+void Shuffle::run(std::function<SimTime()> now,
+                  std::function<void(Result<SimDuration>)> done) {
   now_ = std::move(now);
   done_ = std::move(done);
   started_ = now_();
@@ -14,7 +15,13 @@ void Shuffle::run(std::function<SimTime()> now, std::function<void(SimDuration)>
     for (int r = 0; r < config_.reducers; ++r) {
       connect_(m, r, [this](Result<StreamPtr> stream) {
         if (!stream.is_ok()) {
+          // One lost flow means the byte budget can never be met: fail the
+          // whole shuffle now instead of hanging until the caller times out.
           FF_LOG(warn, "shuffle") << "flow setup failed: " << stream.status();
+          if (!finished_ && done_) {
+            finished_ = true;
+            done_(stream.status());
+          }
           return;
         }
         pump_flow(*stream, std::make_shared<std::uint64_t>(0));

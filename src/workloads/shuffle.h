@@ -33,8 +33,12 @@ class Shuffle {
       : config_(config), connect_(std::move(connect)) {}
 
   /// Runs the shuffle; `done(elapsed_ns)` fires when every reducer received
-  /// every mapper's partition. `now` supplies virtual time.
-  void run(std::function<SimTime()> now, std::function<void(SimDuration)> done);
+  /// every mapper's partition, or with the error as soon as any flow's
+  /// setup terminally fails (a shuffle missing a flow can never finish —
+  /// failing loudly beats hanging until the caller's deadline). `now`
+  /// supplies virtual time.
+  void run(std::function<SimTime()> now,
+           std::function<void(Result<SimDuration>)> done);
 
   /// Reducer side: wires one accepted stream into the byte counter. Returns
   /// a callback the acceptor hands each inbound stream to.
@@ -53,7 +57,7 @@ class Shuffle {
   Config config_;
   ShuffleConnectFn connect_;
   std::function<SimTime()> now_;
-  std::function<void(SimDuration)> done_;
+  std::function<void(Result<SimDuration>)> done_;
   SimTime started_ = 0;
   std::uint64_t received_ = 0;
   bool finished_ = false;

@@ -173,8 +173,10 @@ TEST_F(WorkloadFixture, ShuffleDeliversAllBytes) {
   }
 
   SimDuration elapsed = 0;
-  shuffle.run([&]() { return env.loop().now(); },
-              [&](SimDuration e) { elapsed = e; });
+  shuffle.run([&]() { return env.loop().now(); }, [&](Result<SimDuration> e) {
+    ASSERT_TRUE(e.is_ok()) << e.status();
+    elapsed = *e;
+  });
   EXPECT_TRUE(env.wait([&]() { return elapsed != 0; }, 120 * k_second));
   EXPECT_EQ(shuffle.bytes_received_total(), shuffle.bytes_expected_total());
   EXPECT_GT(elapsed, 0);
@@ -291,7 +293,10 @@ TEST_F(WorkloadFixture, ParamServerIterates) {
 
   PsWorker worker(nw, server_c->ip(), cfg);
   SimDuration elapsed = 0;
-  worker.run(ps.model_mr_id(), [&](SimDuration e) { elapsed = e; });
+  worker.run(ps.model_mr_id(), [&](Result<SimDuration> e) {
+    ASSERT_TRUE(e.is_ok()) << e.status();
+    elapsed = *e;
+  });
   EXPECT_TRUE(env.wait([&]() { return elapsed != 0; }, 120 * k_second));
   EXPECT_EQ(ps.workers_connected(), 1u);
   EXPECT_EQ(worker.transport(), orch::Transport::rdma);
