@@ -97,7 +97,14 @@ int main(int argc, char** argv) {
                 600 * k_second));
 
   auto& metrics = env.cluster.telemetry().metrics();
-  const auto& selector = ff.selector();
+  // Selector stats are per-agent now: sum over every host's cache.
+  std::uint64_t selector_misses = 0;
+  std::uint64_t selector_rounds = 0;
+  for (int h = 0; h < k_hosts; ++h) {
+    const auto& sel = ff.selector_on(static_cast<fabric::HostId>(h));
+    selector_misses += sel.cache_misses();
+    selector_rounds += sel.rpc_rounds();
+  }
 
   std::printf("%8s %10s %12s %12s %12s %12s\n", "flows", "failed", "p50", "p99",
               "p999", "max");
@@ -106,12 +113,13 @@ int main(int argc, char** argv) {
               format_ns(static_cast<double>(setup_latency.p99())).c_str(),
               format_ns(static_cast<double>(setup_latency.p999())).c_str(),
               format_ns(static_cast<double>(setup_latency.max())).c_str());
-  std::printf("\nselector: %llu misses collapsed into %llu orchestrator rounds "
-              "(%llu coalesced)\n",
-              static_cast<unsigned long long>(selector.cache_misses()),
-              static_cast<unsigned long long>(selector.rpc_rounds()),
+  std::printf("\nselectors: %llu misses collapsed into %llu shard RPC rounds "
+              "(%llu coalesced) across %d agents\n",
+              static_cast<unsigned long long>(selector_misses),
+              static_cast<unsigned long long>(selector_rounds),
               static_cast<unsigned long long>(
-                  metrics.counter_value("selector/decide_coalesced")));
+                  metrics.counter_value("selector/decide_coalesced")),
+              k_hosts);
   std::uint64_t retries = 0;
   std::uint64_t races = 0;
   for (int h = 0; h < k_hosts; ++h) {
@@ -129,7 +137,7 @@ int main(int argc, char** argv) {
   json.add("setup_p99_ns", static_cast<double>(setup_latency.p99()));
   json.add("setup_p999_ns", static_cast<double>(setup_latency.p999()));
   json.add("setup_max_ns", static_cast<double>(setup_latency.max()));
-  json.add("decide_rpc_rounds", static_cast<double>(selector.rpc_rounds()));
+  json.add("decide_rpc_rounds", static_cast<double>(selector_rounds));
   json.add("decide_coalesced",
            static_cast<double>(metrics.counter_value("selector/decide_coalesced")));
   json.add("trunk_setup_races_resolved", static_cast<double>(races));

@@ -9,7 +9,7 @@
 #   4 test-asan      ctest under ASan+UBSan with LeakSanitizer ENABLED
 #   5 chaos-smoke    failover matrix (test_faults) under LeakSanitizer
 #   6 examples-smoke quickstart + mapreduce_shuffle run end-to-end (timed)
-#   7 bench-smoke    bench_sim_core + bench_connect_storm --json
+#   7 bench-smoke    bench_sim_core + bench_connect_storm + bench_decision_storm
 #   8 trace-validate bench_failover --trace + ci/validate_trace.py
 #   9 perf-gate      ci/perf_gate.py vs the committed baselines
 set -euo pipefail
@@ -59,9 +59,10 @@ stage "examples-smoke (quickstart + mapreduce_shuffle)"
 ./build/examples/quickstart >/dev/null
 ./build/examples/mapreduce_shuffle >/dev/null
 
-stage "bench-smoke (bench_sim_core + bench_connect_storm --json)"
+stage "bench-smoke (bench_sim_core + bench_connect_storm + bench_decision_storm --json)"
 ./build/bench/bench_sim_core --json build/BENCH_sim_core.json
 ./build/bench/bench_connect_storm --json build/BENCH_connect_storm.json
+./build/bench/bench_decision_storm --json build/BENCH_decision_storm.json
 
 stage "trace-validate (bench_failover --trace + telemetry snapshot)"
 # Runs the failover matrix with Chrome-trace export and checks the trace is
@@ -78,5 +79,7 @@ stage "perf-gate (vs bench/baselines)"
 python3 ci/perf_gate.py build/BENCH_sim_core.json bench/baselines/BENCH_sim_core.json
 python3 ci/perf_gate.py build/BENCH_connect_storm.json \
   bench/baselines/BENCH_connect_storm.json
+python3 ci/perf_gate.py build/BENCH_decision_storm.json \
+  bench/baselines/BENCH_decision_storm.json
 
 stage "all checks passed"

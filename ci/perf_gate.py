@@ -25,6 +25,20 @@ bench_connect_storm:
      latency is measured on the simulation clock, which is deterministic,
      so the tolerance only absorbs intentional cost-model adjustments.
   4. INFO  races resolved, retries, decide RPC rounds.
+
+bench_decision_storm:
+  1. HARD  ``speedup_16v1`` >= DECISION_SPEEDUP_FLOOR (5.0x): cold decision
+     throughput at 16 shards vs the single-orchestrator run *in the same
+     report* — self-relative and on the sim clock, immune to box noise.
+  2. HARD  ``stale_served`` == 0 and ``ground_truth_mismatches`` == 0: a
+     cached decision served after an event that changed it is a correctness
+     bug, not a perf miss. Same for ``decide_errors`` and
+     ``warm_rpc_rounds`` (a warm storm paying RPCs means caching broke).
+  3. HARD  ``flows`` >= baseline flows: the storm may not quietly shrink.
+  4. HARD  ``cold_p99_ns_16shards`` <= baseline * (1 + STORM_P99_TOLERANCE):
+     deterministic sim-clock tail; the tolerance only absorbs intentional
+     cost-model adjustments.
+  5. INFO  per-shard-count throughput, forwards, evictions, epoch rejects.
 """
 
 import json
@@ -33,6 +47,7 @@ import sys
 FLOOR_SPEEDUP = 2.0
 BASELINE_TOLERANCE = 0.40
 STORM_P99_TOLERANCE = 0.25
+DECISION_SPEEDUP_FLOOR = 5.0
 
 
 def load(path):
@@ -118,9 +133,63 @@ def gate_connect_storm(fresh, base):
     return failures
 
 
+def gate_decision_storm(fresh, base):
+    failures = []
+
+    speedup = fresh.get("speedup_16v1", 0.0)
+    print(
+        f"perf-gate: 16-shard decision speedup: {speedup:.2f}x"
+        f" (floor {DECISION_SPEEDUP_FLOOR}x)"
+    )
+    if speedup < DECISION_SPEEDUP_FLOOR:
+        failures.append(
+            f"speedup_16v1 {speedup:.2f}x below the {DECISION_SPEEDUP_FLOOR}x floor"
+        )
+
+    for key in ("stale_served", "ground_truth_mismatches", "decide_errors",
+                "warm_rpc_rounds"):
+        v = fresh.get(key, -1)
+        print(f"perf-gate: {key}: {v:.0f} (hard 0)")
+        if v != 0:
+            failures.append(f"{key} = {v:.0f} — cache coherence broke, hard zero")
+
+    flows = fresh.get("flows", 0)
+    base_flows = base.get("flows", 0)
+    print(f"perf-gate: storm size {flows:.0f} flows (baseline {base_flows:.0f})")
+    if flows < base_flows:
+        failures.append(f"storm shrank to {flows:.0f} flows (baseline {base_flows:.0f})")
+
+    p99 = fresh.get("cold_p99_ns_16shards", 0.0)
+    base_p99 = base.get("cold_p99_ns_16shards", 0.0)
+    if base_p99 > 0:
+        ratio = p99 / base_p99
+        ceiling = 1.0 + STORM_P99_TOLERANCE
+        print(
+            f"perf-gate: cold p99 (16 shards) {p99:.4g}ns vs baseline"
+            f" {base_p99:.4g}ns ({ratio:.0%}; hard ceiling {ceiling:.0%})"
+        )
+        if ratio > ceiling:
+            failures.append(
+                f"cold_p99_ns_16shards at {ratio:.0%} of baseline (> {ceiling:.0%})"
+                " — sim-clock tail regressed, this is not box noise"
+            )
+    else:
+        failures.append("baseline has no cold_p99_ns_16shards metric")
+
+    for key in ("dps_1shard", "dps_4shards", "dps_16shards", "warm_hits",
+                "epoch_rejects", "shard_rpcs_16", "cross_shard_forwards_16",
+                "cache_evictions_16"):
+        if key in fresh:
+            b = f" (baseline {base[key]:.6g})" if key in base else ""
+            print(f"perf-gate: info {key} = {fresh[key]:.6g}{b}")
+
+    return failures
+
+
 GATES = {
     "sim_core": gate_sim_core,
     "connect_storm": gate_connect_storm,
+    "decision_storm": gate_decision_storm,
 }
 
 

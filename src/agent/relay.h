@@ -87,6 +87,14 @@ struct AgentConfig {
   /// Base seed for the per-agent backoff-jitter Rng (xored with the host id,
   /// so agents jitter independently yet the whole run stays reproducible).
   std::uint64_t trunk_retry_seed = 0x7EE7F10017ULL;
+
+  /// Control-plane shard count (host-partitioned; see DESIGN.md §12).
+  /// Benches sweep 1/4/16; the default keeps small deployments realistic
+  /// while still exercising cross-shard forwarding.
+  int control_plane_shards = 4;
+  /// Per-agent decision-cache bound: beyond this many (src, dst) entries
+  /// the least-recently-used entry is evicted (selector/cache_evictions).
+  std::size_t selector_cache_capacity = 4096;
 };
 
 }  // namespace freeflow::agent

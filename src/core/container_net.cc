@@ -30,8 +30,13 @@ void ContainerNet::adopt_conduit(const ConduitPtr& conduit) {
     auto net = self.lock();
     auto c = weak_conduit.lock();
     if (net == nullptr || c == nullptr) return;
-    net->ff_.selector().invalidate(net->id());
-    net->ff_.selector().invalidate(c->peer());
+    // Drop cached decisions for this pair before re-deciding: the hook runs
+    // before the agent's lane-failure report reaches the control plane, so
+    // the push-flush hasn't landed yet. The reverse index makes this
+    // O(affected entries), not a cache sweep.
+    auto& selector = net->ff_.selector_on(net->container_->host());
+    selector.invalidate(net->id());
+    selector.invalidate(c->peer());
     if (c->initiator()) net->refit_conduit(c);
   });
 }
@@ -106,9 +111,10 @@ void ContainerNet::open_channel_for(ConduitPtr conduit, bool rebinding,
   // conduit's generation stamps this attempt, and a stale winner abandons
   // its freshly built channel instead of overriding a newer decision.
   const std::uint64_t gen = conduit->generation();
-  ff_.selector().decide(id(), conduit->peer(),
-                        [this, conduit, rebinding, gen,
-                         done = std::move(done)](Result<orch::TransportDecision> d) mutable {
+  ff_.selector_on(container_->host())
+      .decide(id(), conduit->peer(),
+              [this, conduit, rebinding, gen,
+               done = std::move(done)](Result<orch::TransportDecision> d) mutable {
     if (!d.is_ok()) {
       done(d.status());
       return;
@@ -357,8 +363,9 @@ void ContainerNet::handle_health_event(fabric::HostId host) {
     const bool touches =
         peer_loc->host == host || container_->host() == host;
     if (!touches) continue;
-    ff_.selector().invalidate(id());
-    ff_.selector().invalidate(conduit->peer());
+    // No invalidate here: the control plane's health-diff flush already
+    // dropped exactly the affected entries (and only those — a co-located
+    // shm pair rides out its host's RDMA death) before this callback ran.
     // Only the initiator re-dials; the passive side splices on the rebind.
     if (conduit->initiator()) refit_conduit(conduit);
   }
@@ -366,7 +373,7 @@ void ContainerNet::handle_health_event(fabric::HostId host) {
 
 void ContainerNet::refit_conduit(const ConduitPtr& conduit) {
   auto self = weak_from_this();
-  ff_.selector().decide(id(), conduit->peer(),
+  ff_.selector_on(container_->host()).decide(id(), conduit->peer(),
                         [self, conduit](Result<orch::TransportDecision> d) {
     auto net = self.lock();
     if (net == nullptr || !d.is_ok()) return;

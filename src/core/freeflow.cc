@@ -4,8 +4,8 @@ namespace freeflow::core {
 
 FreeFlow::FreeFlow(orch::NetworkOrchestrator& orchestrator, agent::AgentConfig config)
     : orchestrator_(orchestrator),
-      agents_(orchestrator, config),
-      selector_(orchestrator, agents_.loop()) {
+      plane_(orchestrator, config.control_plane_shards),
+      agents_(orchestrator, config) {
   // Route migration notifications to the affected library instances. The
   // orchestrator outlives this object, so guard with the liveness token.
   std::weak_ptr<bool> alive = alive_;
@@ -45,6 +45,18 @@ FreeFlow::FreeFlow(orch::NetworkOrchestrator& orchestrator, agent::AgentConfig c
     for (auto& [cid, net] : nets_) snapshot.push_back(net);
     for (auto& net : snapshot) net->handle_health_event(changed);
   });
+}
+
+TransportSelector& FreeFlow::selector_on(fabric::HostId host) {
+  auto it = selectors_.find(host);
+  if (it == selectors_.end()) {
+    it = selectors_
+             .emplace(host, std::make_unique<TransportSelector>(
+                                plane_, agents_.loop(), host,
+                                agents_.config().selector_cache_capacity))
+             .first;
+  }
+  return *it->second;
 }
 
 Result<ContainerNetPtr> FreeFlow::attach(orch::ContainerId id) {

@@ -29,16 +29,24 @@ class FreeFlow {
   [[nodiscard]] ContainerNetPtr net(orch::ContainerId id) const;
 
   [[nodiscard]] orch::NetworkOrchestrator& orchestrator() noexcept { return orchestrator_; }
+  [[nodiscard]] orch::ShardedControlPlane& control_plane() noexcept { return plane_; }
   [[nodiscard]] agent::AgentFabric& agents() noexcept { return agents_; }
-  [[nodiscard]] TransportSelector& selector() noexcept { return selector_; }
+  /// The decision cache of the agent on `host` (created on first use): each
+  /// host's library talks to its own bounded, epoch-validated cache.
+  [[nodiscard]] TransportSelector& selector_on(fabric::HostId host);
+  /// Host-0 agent's cache — the single-host tests' and benches' shorthand.
+  [[nodiscard]] TransportSelector& selector() { return selector_on(0); }
   [[nodiscard]] sim::EventLoop& loop() noexcept { return agents_.loop(); }
 
   [[nodiscard]] std::uint64_t next_token() noexcept { return next_token_++; }
 
  private:
   orch::NetworkOrchestrator& orchestrator_;
+  /// Constructed (and subscribed to container/health events) BEFORE the
+  /// handlers below, so cache flushes land before any re-decision runs.
+  orch::ShardedControlPlane plane_;
   agent::AgentFabric agents_;
-  TransportSelector selector_;
+  std::unordered_map<fabric::HostId, std::unique_ptr<TransportSelector>> selectors_;
   std::unordered_map<orch::ContainerId, ContainerNetPtr> nets_;
   std::uint64_t next_token_ = 1;
   /// Liveness token for orchestrator subscriptions: the orchestrator can

@@ -1,69 +1,150 @@
-// Transport selector: the library-side cache over the network
-// orchestrator's location/decision service. The library "keeps pulling the
-// newest container location information from the network orchestrator"
-// (paper §3.2); we cache decisions with a TTL and invalidate eagerly on
-// move notifications, so steady-state traffic pays no control-plane RTT.
+// Transport selector: the per-agent decision cache over the sharded
+// control plane. The library "keeps pulling the newest container location
+// information from the network orchestrator" (paper §3.2); each host's
+// agent now holds its own bounded cache of (src, dst) -> TransportDecision
+// entries, versioned by the control plane's per-container decision epochs.
 //
-// Misses are batched: every query that arrives within one RPC window rides
-// the same orchestrator round instead of paying its own. Under a connect
-// storm (thousands of flows declared the same tick) this collapses N
-// control-plane round-trips into one, which is what keeps setup-latency
-// tails flat as the storm grows.
+// Misses are batched per home shard: every query that arrives within one
+// coalescing window rides the same batched RPC instead of paying its own.
+// Negative answers (unknown container) are cached briefly too, so retry
+// loops don't hammer the shards. The cache is bounded: beyond capacity the
+// least-recently-used entry is evicted.
+//
+// Invalidation is push-based and precise. The plane tracks which selectors
+// hold entries involving each container (the selector registers interest
+// as entries appear and drops it when the last one dies); fault reports,
+// NIC-health transitions and migrations push epoch-bumped flushes that
+// drop exactly the affected entries via a per-container reverse index —
+// a co-located shm pair survives its host's RDMA engine dying. TTL expiry
+// remains only as a backstop; the `selector/stale_served` counter audits
+// every hit against ground-truth epochs and the perf gate holds it at
+// zero, proving the push plumbing (not the TTL) keeps caches coherent.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <list>
+#include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
-#include "orchestrator/network_orchestrator.h"
+#include "orchestrator/shard.h"
 #include "sim/event_loop.h"
 #include "telemetry/metrics.h"
 
 namespace freeflow::core {
 
-class TransportSelector {
+class TransportSelector final : public orch::DecisionCacheClient {
  public:
-  TransportSelector(orch::NetworkOrchestrator& orchestrator, sim::EventLoop& loop);
+  TransportSelector(orch::ShardedControlPlane& plane, sim::EventLoop& loop,
+                    fabric::HostId host, std::size_t capacity);
+  ~TransportSelector() override;
+
+  TransportSelector(const TransportSelector&) = delete;
+  TransportSelector& operator=(const TransportSelector&) = delete;
 
   /// Decides the transport from `src` to `dst`. Cached answers return after
-  /// one scheduling quantum; misses join the current batch and pay (one
-  /// shared) orchestrator RPC latency.
+  /// one scheduling quantum; misses join the current batch window and pay
+  /// (one shared) home-shard RPC. A reply that raced an epoch bump (e.g. a
+  /// migration completing while the RPC was in flight) is rejected and
+  /// re-queried instead of being cached or served.
   void decide(orch::ContainerId src, orch::ContainerId dst,
               std::function<void(Result<orch::TransportDecision>)> cb);
 
-  /// Drops the cached decision for any pair involving `container`.
+  /// Drops every cached decision involving `container` — O(entries actually
+  /// affected) via the reverse index, not a full-cache sweep.
   void invalidate(orch::ContainerId container);
+
+  /// Control-plane flush push (DecisionCacheClient). Drops entries for
+  /// `container` whose transport is in `drop_mask`; re-stamps survivors.
+  void on_flush(orch::ContainerId container, orch::DecisionEpoch epoch,
+                std::uint8_t drop_mask) override;
+
+  [[nodiscard]] fabric::HostId host() const noexcept { return host_; }
+  [[nodiscard]] std::size_t cache_size() const noexcept { return cache_.size(); }
 
   [[nodiscard]] std::uint64_t cache_hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t cache_misses() const noexcept { return misses_; }
-  /// Orchestrator round-trips actually paid (≤ cache_misses() under storms).
+  /// Shard round-trips actually paid (<= cache_misses() under storms).
   [[nodiscard]] std::uint64_t rpc_rounds() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  /// Entries dropped by invalidate()/flush pushes.
+  [[nodiscard]] std::uint64_t invalidations() const noexcept { return invalidations_; }
+  /// Fresh-by-TTL hits whose epochs lagged ground truth — a flush that
+  /// should have arrived didn't. Served as a miss instead; the perf gate
+  /// holds this at zero.
+  [[nodiscard]] std::uint64_t stale_served() const noexcept { return stale_served_; }
+  /// In-flight replies rejected because an epoch bump overtook them.
+  [[nodiscard]] std::uint64_t epoch_rejects() const noexcept { return epoch_rejects_; }
 
  private:
+  /// Epoch-reject retry budget: a query that keeps racing container events
+  /// (one bump per in-flight window is the realistic worst case) re-rides
+  /// the next batch this many times before surfacing `aborted`.
+  static constexpr int k_max_decide_attempts = 4;
+
   struct CacheEntry {
     orch::TransportDecision decision;
+    Status error;         ///< negative-cache payload (negative == true)
+    bool negative = false;
     SimTime fresh_until = 0;
+    orch::DecisionEpoch src_epoch = 0;
+    orch::DecisionEpoch dst_epoch = 0;
+    std::list<std::uint64_t>::iterator lru;
   };
+  using CacheMap = std::unordered_map<std::uint64_t, CacheEntry>;
 
   struct PendingQuery {
     std::uint64_t key = 0;
     orch::ContainerId src = 0;
     orch::ContainerId dst = 0;
+    int attempt = 0;
     std::function<void(Result<orch::TransportDecision>)> cb;
   };
 
-  void flush();
+  void enqueue(PendingQuery q);
+  void flush_batch();
+  void complete(PendingQuery q, orch::ShardedControlPlane::DecideReply reply);
+  void store(const PendingQuery& q,
+             const orch::ShardedControlPlane::DecideReply& reply);
+  /// Single exit for entries: maintains LRU, reverse index and interest.
+  void erase_entry(CacheMap::iterator it);
+  void unindex(orch::ContainerId container, std::uint64_t key);
+  void index(orch::ContainerId container, std::uint64_t key);
 
-  orch::NetworkOrchestrator& orchestrator_;
+  orch::ShardedControlPlane& plane_;
   sim::EventLoop& loop_;
-  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  const fabric::HostId host_;
+  const std::size_t capacity_;
+
+  CacheMap cache_;
+  /// Most-recently-used at the front; evictions pop the back.
+  std::list<std::uint64_t> lru_;
+  /// container -> keys of cached entries involving it (precise flushes).
+  std::unordered_map<orch::ContainerId, std::unordered_set<std::uint64_t>> by_container_;
+
   std::vector<PendingQuery> batch_;
   bool flush_scheduled_ = false;
+
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t rounds_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
+  std::uint64_t stale_served_ = 0;
+  std::uint64_t epoch_rejects_ = 0;
+
+  // Registry-shared counters (aggregated across the per-agent selectors).
   telemetry::Counter* ctr_rpc_rounds_ = telemetry::Counter::discard();
   telemetry::Counter* ctr_coalesced_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_invalidations_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_stale_served_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_evictions_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_epoch_rejects_ = telemetry::Counter::discard();
+
+  /// Guard for replies scheduled on the loop outliving this selector.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace freeflow::core

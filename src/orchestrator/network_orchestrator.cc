@@ -152,8 +152,12 @@ void NetworkOrchestrator::subscribe_moves(LocationFn fn) {
 
 void NetworkOrchestrator::update_nic_health(fabric::HostId host,
                                             const fabric::NicHealth& health) {
+  const fabric::NicHealth prev = nic_health(host);  // copy before overwrite
   health_[host] = health;
   cluster_.cluster().telemetry().metrics().counter("orchestrator/health_updates").inc();
+  // Diff subscribers (decision-cache flushes) run BEFORE the coarse health
+  // subscribers: by the time anything re-decides, stale entries are gone.
+  for (auto& fn : health_diff_subscribers_) fn(host, prev, health);
   notify_health(host);
 }
 
@@ -167,12 +171,22 @@ void NetworkOrchestrator::subscribe_health(HealthFn fn) {
   health_subscribers_.push_back(std::move(fn));
 }
 
+void NetworkOrchestrator::subscribe_health_diff(HealthDiffFn fn) {
+  health_diff_subscribers_.push_back(std::move(fn));
+}
+
+void NetworkOrchestrator::subscribe_lane_failures(LaneFailureFn fn) {
+  lane_failure_subscribers_.push_back(std::move(fn));
+}
+
 void NetworkOrchestrator::report_lane_failure(fabric::HostId reporter,
                                               fabric::HostId peer, Transport transport) {
   ++lane_failure_reports_;
   cluster_.cluster().telemetry().metrics().counter("orchestrator/lane_failure_reports").inc();
   FF_LOG(info, "orch") << "lane failure report: host " << reporter << " -> host "
                        << peer << " over " << transport_name(transport);
+  // Caches drop decisions riding the failed lane before anything re-decides.
+  for (auto& fn : lane_failure_subscribers_) fn(reporter, peer, transport);
   // Both ends re-evaluate; decide() folds whatever telemetry already knows.
   notify_health(reporter);
   if (peer != reporter) notify_health(peer);

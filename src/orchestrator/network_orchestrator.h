@@ -39,6 +39,13 @@ class NetworkOrchestrator {
  public:
   using LocationFn = std::function<void(const Container&)>;
   using HealthFn = std::function<void(fabric::HostId)>;
+  /// Health transition with before/after state — precise invalidation needs
+  /// the *diff* (which capability changed, in which direction), not just
+  /// the fact that something changed.
+  using HealthDiffFn = std::function<void(
+      fabric::HostId, const fabric::NicHealth& prev, const fabric::NicHealth& now)>;
+  using LaneFailureFn =
+      std::function<void(fabric::HostId reporter, fabric::HostId peer, Transport)>;
 
   explicit NetworkOrchestrator(ClusterOrchestrator& cluster_orch);
 
@@ -87,6 +94,17 @@ class NetworkOrchestrator {
   /// Re-decision callback: fired with the host whose health state changed.
   void subscribe_health(HealthFn fn);
 
+  /// Cache-invalidation callback: fired by update_nic_health with the old
+  /// and new health, BEFORE the coarse subscribe_health callbacks — so
+  /// decision caches flush stale entries before any re-decision consults
+  /// them (the stale-serve window the sharded control plane closes).
+  void subscribe_health_diff(HealthDiffFn fn);
+
+  /// Fired by report_lane_failure (before its health notifications) with
+  /// the reported transport, so caches can flush exactly the decisions
+  /// riding the failed lane.
+  void subscribe_lane_failures(LaneFailureFn fn);
+
   /// Agent-side failure report (missed heartbeats, send errors): converges
   /// faster than telemetry when the fault is on the reporting path. The
   /// report does not overwrite telemetry (a healthy peer must not be exiled
@@ -114,6 +132,8 @@ class NetworkOrchestrator {
   std::unordered_set<std::uint64_t> tenant_trust_;
   std::vector<LocationFn> move_subscribers_;
   std::vector<HealthFn> health_subscribers_;
+  std::vector<HealthDiffFn> health_diff_subscribers_;
+  std::vector<LaneFailureFn> lane_failure_subscribers_;
   /// Last reported NIC health per host; absent means healthy.
   std::unordered_map<fabric::HostId, fabric::NicHealth> health_;
   std::uint64_t lane_failure_reports_ = 0;
