@@ -1,6 +1,14 @@
 #!/usr/bin/env bash
 # Staged tier-1 gate. Run from the repo root:
-#   ci/check.sh [jobs]
+#   ci/check.sh [jobs]             run every stage
+#   ci/check.sh --stage N [jobs]   run exactly stage N (assumes earlier
+#                                  stages' artifacts exist, e.g. build/)
+#   ci/check.sh --from N [jobs]    run stage N and everything after it
+#   ci/check.sh --list             print the stage table and exit
+#
+# Timings for the stages that actually ran land in ci/stage_times.json
+# (machine-readable, written even when a stage fails) so gate cost can be
+# tracked over time and the slow stage named from CI logs alone.
 #
 # Stages:
 #   1 build          normal config, warnings-as-errors
@@ -9,77 +17,168 @@
 #   4 test-asan      ctest under ASan+UBSan with LeakSanitizer ENABLED
 #   5 chaos-smoke    failover matrix (test_faults) under LeakSanitizer
 #   6 examples-smoke quickstart + mapreduce_shuffle run end-to-end (timed)
-#   7 bench-smoke    bench_sim_core + bench_connect_storm + bench_decision_storm
-#   8 trace-validate bench_failover --trace + ci/validate_trace.py
+#   7 bench-smoke    bench_sim_core + storms + bench_socket_stream --json
+#   8 trace-validate failover + socket-stream traces vs expected timelines
 #   9 perf-gate      ci/perf_gate.py vs the committed baselines
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-jobs="${1:-$(nproc)}"
 
-stage_t0=0
-stage() {
-  local now
-  now=$(date +%s)
-  if [[ "$stage_t0" -ne 0 ]]; then
-    echo "   (stage took $((now - stage_t0))s)"
-  fi
-  stage_t0=$now
-  echo "== $1"
+stage_table() {
+  grep -E '^#   [1-9] ' "$0" | sed 's/^#   //'
 }
 
-stage "build (normal config, -Werror)"
-cmake -B build -S . -DFREEFLOW_WERROR=ON >/dev/null
-cmake --build build -j "$jobs"
+only=0
+from=1
+jobs=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --stage) only="$2"; shift 2 ;;
+    --from)  from="$2"; shift 2 ;;
+    --list)  stage_table; exit 0 ;;
+    -h|--help) sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) jobs="$1"; shift ;;
+  esac
+done
+jobs="${jobs:-$(nproc)}"
 
-stage "test (normal config)"
-ctest --test-dir build --output-on-failure -j "$jobs"
+# ---------------------------------------------------------------- timings
 
-stage "build-asan (ASan+UBSan, -Werror)"
-cmake -B build-asan -S . -DFREEFLOW_SANITIZE=ON -DFREEFLOW_WERROR=ON >/dev/null
-cmake --build build-asan -j "$jobs"
+times_names=()
+times_secs=()
+times_status=()
 
-stage "test-asan (LeakSanitizer enabled)"
-# No detect_leaks=0 and no suppression file: the explicit teardown protocol
-# keeps steady-state ownership a DAG, so every test must exit leak-clean.
-ctest --test-dir build-asan --output-on-failure -j "$jobs"
+write_times() {
+  local out="ci/stage_times.json"
+  {
+    echo '{'
+    echo '  "stages": ['
+    local i last=$(( ${#times_names[@]} - 1 ))
+    for i in "${!times_names[@]}"; do
+      local comma=','
+      [[ "$i" -eq "$last" ]] && comma=''
+      echo "    {\"stage\": \"${times_names[$i]}\"," \
+           "\"seconds\": ${times_secs[$i]}," \
+           "\"status\": \"${times_status[$i]}\"}$comma"
+    done
+    echo '  ]'
+    echo '}'
+  } >"$out"
+}
 
-stage "chaos-smoke (failover matrix under LeakSanitizer)"
-# The fault matrix tears lanes down mid-transfer; running it under ASan+LSan
-# proves failover never leaks or double-frees channel/trunk state. It already
-# ran in stage 4 alongside everything else — this stage re-runs it alone so a
-# chaos regression is named by the gate that owns it.
-./build-asan/tests/test_faults --gtest_brief=1
+run_stage() {  # run_stage NUMBER NAME FUNCTION
+  local n="$1" name="$2" fn="$3"
+  if [[ "$only" -ne 0 ]]; then
+    [[ "$n" -eq "$only" ]] || return 0
+  elif [[ "$n" -lt "$from" ]]; then
+    return 0
+  fi
+  echo "== stage $n: $name"
+  local t0 t1 rc=0
+  t0=$(date +%s)
+  "$fn" || rc=$?
+  t1=$(date +%s)
+  times_names+=("$name")
+  times_secs+=($((t1 - t0)))
+  if [[ "$rc" -ne 0 ]]; then
+    times_status+=("failed")
+    write_times
+    echo "== stage $n ($name) FAILED after $((t1 - t0))s" >&2
+    exit "$rc"
+  fi
+  times_status+=("ok")
+  echo "   (stage $n took $((t1 - t0))s)"
+}
 
-stage "examples-smoke (quickstart + mapreduce_shuffle)"
-# The examples exercise the full user-facing path, including the
-# bidirectional trunk-setup schedule that mapreduce_shuffle's 3x3 flow
-# matrix produces; a hang or an abort here is a regression even if every
-# unit test passes. The stage timer doubles as a coarse wall-clock guard.
-./build/examples/quickstart >/dev/null
-./build/examples/mapreduce_shuffle >/dev/null
+# ----------------------------------------------------------------- stages
 
-stage "bench-smoke (bench_sim_core + bench_connect_storm + bench_decision_storm --json)"
-./build/bench/bench_sim_core --json build/BENCH_sim_core.json
-./build/bench/bench_connect_storm --json build/BENCH_connect_storm.json
-./build/bench/bench_decision_storm --json build/BENCH_decision_storm.json
+stage_build() {
+  cmake -B build -S . -DFREEFLOW_WERROR=ON >/dev/null
+  cmake --build build -j "$jobs"
+}
 
-stage "trace-validate (bench_failover --trace + telemetry snapshot)"
-# Runs the failover matrix with Chrome-trace export and checks the trace is
-# well-formed and shows the full kill-rdma recovery timeline. The bench
-# itself FF_CHECKs that the telemetry snapshot in --json matches its own
-# per-conduit retransmit/blackout measurements.
-./build/bench/bench_failover --json build/BENCH_failover.json \
-  --trace build/TRACE_failover.json
-python3 ci/validate_trace.py build/TRACE_failover.json \
-  --expect "i:rdma_down,B:failover,i:mark_stale,i:rebind,i:retransmit,E:failover,i:rdma_up,i:re-upgrade"
-python3 -c "import json; json.load(open('build/BENCH_failover.json'))"
+stage_test() {
+  ctest --test-dir build --output-on-failure -j "$jobs"
+}
 
-stage "perf-gate (vs bench/baselines)"
-python3 ci/perf_gate.py build/BENCH_sim_core.json bench/baselines/BENCH_sim_core.json
-python3 ci/perf_gate.py build/BENCH_connect_storm.json \
-  bench/baselines/BENCH_connect_storm.json
-python3 ci/perf_gate.py build/BENCH_decision_storm.json \
-  bench/baselines/BENCH_decision_storm.json
+stage_build_asan() {
+  cmake -B build-asan -S . -DFREEFLOW_SANITIZE=ON -DFREEFLOW_WERROR=ON >/dev/null
+  cmake --build build-asan -j "$jobs"
+}
 
-stage "all checks passed"
+stage_test_asan() {
+  # No detect_leaks=0 and no suppression file: the explicit teardown protocol
+  # keeps steady-state ownership a DAG, so every test must exit leak-clean.
+  ctest --test-dir build-asan --output-on-failure -j "$jobs"
+}
+
+stage_chaos_smoke() {
+  # The fault matrix tears lanes down mid-transfer; running it under ASan+LSan
+  # proves failover never leaks or double-frees channel/trunk state. It already
+  # ran in stage 4 alongside everything else — this stage re-runs it alone so a
+  # chaos regression is named by the gate that owns it.
+  ./build-asan/tests/test_faults --gtest_brief=1
+}
+
+stage_examples_smoke() {
+  # The examples exercise the full user-facing path, including the
+  # bidirectional trunk-setup schedule that mapreduce_shuffle's 3x3 flow
+  # matrix produces; a hang or an abort here is a regression even if every
+  # unit test passes. The stage timer doubles as a coarse wall-clock guard.
+  ./build/examples/quickstart >/dev/null
+  ./build/examples/mapreduce_shuffle >/dev/null
+}
+
+stage_bench_smoke() {
+  ./build/bench/bench_sim_core --json build/BENCH_sim_core.json
+  ./build/bench/bench_connect_storm --json build/BENCH_connect_storm.json
+  ./build/bench/bench_decision_storm --json build/BENCH_decision_storm.json
+  # The stream bench exports its failover-phase trace here so the
+  # trace-validate stage can assert the splice timeline without re-running.
+  ./build/bench/bench_socket_stream --json build/BENCH_socket_stream.json \
+    --trace build/TRACE_socket_stream.json
+}
+
+stage_trace_validate() {
+  # Runs the failover matrix with Chrome-trace export and checks the trace is
+  # well-formed and shows the full kill-rdma recovery timeline. The bench
+  # itself FF_CHECKs that the telemetry snapshot in --json matches its own
+  # per-conduit retransmit/blackout measurements.
+  ./build/bench/bench_failover --json build/BENCH_failover.json \
+    --trace build/TRACE_failover.json
+  python3 ci/validate_trace.py build/TRACE_failover.json \
+    --expect "i:rdma_down,B:failover,i:mark_stale,i:rebind,i:retransmit,E:failover,i:rdma_up,i:re-upgrade"
+  python3 -c "import json; json.load(open('build/BENCH_failover.json'))"
+  # The stream adapter's trace (exported by bench-smoke) must show both
+  # timelines: the adapter's upgrade -> fallback -> re-upgrade dance, and the
+  # conduit-level failover it rides on. Two --expect flags, one export.
+  python3 ci/validate_trace.py build/TRACE_socket_stream.json \
+    --expect "i:stream_upgrade,i:rdma_down,i:stream_fallback,i:rdma_up,i:stream_upgrade" \
+    --expect "i:rdma_down,B:failover,i:mark_stale,i:rebind,i:retransmit,E:failover"
+}
+
+stage_perf_gate() {
+  python3 ci/perf_gate.py build/BENCH_sim_core.json \
+    bench/baselines/BENCH_sim_core.json
+  python3 ci/perf_gate.py build/BENCH_connect_storm.json \
+    bench/baselines/BENCH_connect_storm.json
+  python3 ci/perf_gate.py build/BENCH_decision_storm.json \
+    bench/baselines/BENCH_decision_storm.json
+  python3 ci/perf_gate.py build/BENCH_socket_stream.json \
+    bench/baselines/BENCH_socket_stream.json
+}
+
+# ------------------------------------------------------------------ drive
+
+run_stage 1 build          stage_build
+run_stage 2 test           stage_test
+run_stage 3 build-asan     stage_build_asan
+run_stage 4 test-asan      stage_test_asan
+run_stage 5 chaos-smoke    stage_chaos_smoke
+run_stage 6 examples-smoke stage_examples_smoke
+run_stage 7 bench-smoke    stage_bench_smoke
+run_stage 8 trace-validate stage_trace_validate
+run_stage 9 perf-gate      stage_perf_gate
+
+write_times
+echo "== all selected stages passed (timings: ci/stage_times.json)"

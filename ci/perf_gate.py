@@ -39,6 +39,23 @@ bench_decision_storm:
      deterministic sim-clock tail; the tolerance only absorbs intentional
      cost-model adjustments.
   5. INFO  per-shard-count throughput, forwards, evictions, epoch rejects.
+
+bench_socket_stream:
+  1. HARD  ``speedup_vs_tcp`` >= STREAM_SPEEDUP_FLOOR (2.0x): adapter bulk
+     goodput vs the native overlay TCP stack measured in the same report —
+     self-relative on the sim clock, so box noise cancels out. This is the
+     PR's acceptance floor for the sockets-over-RDMA path.
+  2. HARD  ``failover_lost_bytes`` == 0 and ``failover_pattern_mismatches``
+     == 0: the transparency claim. A byte lost, duplicated or reordered
+     across the rdma_down -> fallback -> re-upgrade sequence is a
+     correctness bug, never a perf miss.
+  3. HARD  ``failover_completed`` == 1: the transfer must finish back on
+     RDMA after the heal; ``failover_fallbacks`` >= 1 and
+     ``failover_upgrades`` >= 2 prove the stream actually took the detour
+     (initial upgrade + re-upgrade) rather than idling through the fault.
+  4. HARD  ``failover_transfer_mb`` >= baseline: the transfer may not be
+     quietly shrunk to dodge the fault window.
+  5. INFO  RTTs, raw-RDMA headroom, receiver byte split (rdma vs tcp).
 """
 
 import json
@@ -48,6 +65,7 @@ FLOOR_SPEEDUP = 2.0
 BASELINE_TOLERANCE = 0.40
 STORM_P99_TOLERANCE = 0.25
 DECISION_SPEEDUP_FLOOR = 5.0
+STREAM_SPEEDUP_FLOOR = 2.0
 
 
 def load(path):
@@ -186,10 +204,68 @@ def gate_decision_storm(fresh, base):
     return failures
 
 
+def gate_socket_stream(fresh, base):
+    failures = []
+
+    speedup = fresh.get("speedup_vs_tcp", 0.0)
+    print(
+        f"perf-gate: stream goodput vs native overlay tcp: {speedup:.2f}x"
+        f" (floor {STREAM_SPEEDUP_FLOOR}x)"
+    )
+    if speedup < STREAM_SPEEDUP_FLOOR:
+        failures.append(
+            f"speedup_vs_tcp {speedup:.2f}x below the {STREAM_SPEEDUP_FLOOR}x floor"
+        )
+
+    for key in ("failover_lost_bytes", "failover_pattern_mismatches"):
+        v = fresh.get(key, -1)
+        print(f"perf-gate: {key}: {v:.0f} (hard 0)")
+        if v != 0:
+            failures.append(
+                f"{key} = {v:.0f} — the stream broke byte-exactness across "
+                "failover, hard zero"
+            )
+
+    completed = fresh.get("failover_completed", 0)
+    print(f"perf-gate: failover transfer completed back on rdma: {completed:.0f} (hard 1)")
+    if completed != 1:
+        failures.append("failover transfer did not complete back on rdma")
+
+    fallbacks = fresh.get("failover_fallbacks", 0)
+    upgrades = fresh.get("failover_upgrades", 0)
+    print(
+        f"perf-gate: failover path taken: {fallbacks:.0f} fallback(s),"
+        f" {upgrades:.0f} upgrade(s) (hard >=1 / >=2)"
+    )
+    if fallbacks < 1 or upgrades < 2:
+        failures.append(
+            f"fault detour not exercised: {fallbacks:.0f} fallbacks, "
+            f"{upgrades:.0f} upgrades (need >=1 and >=2)"
+        )
+
+    mb = fresh.get("failover_transfer_mb", 0)
+    base_mb = base.get("failover_transfer_mb", 0)
+    print(f"perf-gate: failover transfer {mb:.0f} MB (baseline {base_mb:.0f})")
+    if mb < base_mb:
+        failures.append(
+            f"failover transfer shrank to {mb:.0f} MB (baseline {base_mb:.0f})"
+        )
+
+    for key in ("stream_rtt_us", "tcp_rtt_us", "stream_goodput_gbps",
+                "native_tcp_gbps", "raw_rdma_gbps", "failover_bytes_rdma",
+                "failover_bytes_tcp"):
+        if key in fresh:
+            b = f" (baseline {base[key]:.6g})" if key in base else ""
+            print(f"perf-gate: info {key} = {fresh[key]:.6g}{b}")
+
+    return failures
+
+
 GATES = {
     "sim_core": gate_sim_core,
     "connect_storm": gate_connect_storm,
     "decision_storm": gate_decision_storm,
+    "socket_stream": gate_socket_stream,
 }
 
 

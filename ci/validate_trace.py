@@ -7,9 +7,12 @@ Checks (stdlib only):
      non-negative number; events are in non-decreasing ts order.
   3. B/E pairs balance per (pid, tid) row and never close an unopened span
      (metadata and instants are exempt).
-  4. Optional --expect: a comma-separated "ph:name" subsequence that must
-     appear, in order, somewhere in the event stream, e.g.
+  4. Optional --expect (repeatable): a comma-separated "ph:name" subsequence
+     that must appear, in order, somewhere in the event stream, e.g.
        --expect "i:rdma_down,B:failover,i:mark_stale,i:rebind,i:retransmit,E:failover,i:re-upgrade"
+     Each --expect is validated independently from the start of the trace,
+     so two overlapping timelines (say, the conduit's failover and the
+     stream adapter's upgrade dance) can be asserted against one export.
 
 Exit code 0 on success; prints the first violation and exits 1 otherwise.
 """
@@ -32,8 +35,10 @@ def main():
     parser.add_argument("trace", help="path to the Chrome-trace JSON file")
     parser.add_argument(
         "--expect",
-        default="",
-        help='comma-separated "ph:name" subsequence that must appear in order',
+        action="append",
+        default=[],
+        help='comma-separated "ph:name" subsequence that must appear in '
+        "order; may be given multiple times, each checked independently",
     )
     args = parser.parse_args()
 
@@ -82,9 +87,9 @@ def main():
     if dangling:
         fail(f"unclosed spans at end of trace: {dangling}")
 
-    if args.expect:
+    for spec in args.expect:
         wanted = []
-        for item in args.expect.split(","):
+        for item in spec.split(","):
             item = item.strip()
             if not item:
                 continue
@@ -92,7 +97,7 @@ def main():
             if not name:
                 fail(f"--expect item {item!r} is not ph:name")
             wanted.append((ph, name))
-        it = iter(events)
+        it = iter(events)  # fresh iterator: each --expect scans independently
         for ph, name in wanted:
             for ev in it:
                 if ev["ph"] == ph and ev["name"] == name:

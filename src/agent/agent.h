@@ -103,6 +103,11 @@ class Agent {
   [[nodiscard]] bool setup_in_flight(fabric::HostId peer,
                                      orch::Transport transport) const;
 
+  /// The host's RDMA engine (created on first use). Exposed so the stream
+  /// adapter (src/stream) can carve per-stream RC QPs out of the same NIC
+  /// the agent trunks ride — TSoR-style sockets-over-RDMA.
+  rdma::RdmaDevice& rdma_device();
+
  private:
   friend class AgentFabric;
 
@@ -145,7 +150,6 @@ class Agent {
   /// of the key's current attempt. No-op without an in-flight setup.
   void fail_setup_attempt(const TrunkKey& key, Status error);
 
-  rdma::RdmaDevice& rdma_device();
   dpdk::DpdkPort& dpdk_port();
 
   /// Single point of trunk registration: wires keyed record/drain callbacks

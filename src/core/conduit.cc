@@ -81,13 +81,20 @@ void Conduit::attach_channel(agent::ChannelPtr channel) {
   if (channel_ != nullptr) {
     channel_->close();
   }
+  // Until the retained replay and blackout drain below finish, nothing new
+  // may enter the channel: an on_space_ fired mid-replay (the fresh channel
+  // drains fast) would re-enter the application's pump and put a new, higher
+  // sequence on the wire between two replayed ones — the peer sees a gap it
+  // can never heal. Defer writable notifications until the splice completes.
+  splicing_ = true;
   channel_ = std::move(channel);
   auto self = weak_from_this();
   channel_->set_on_message([self](Buffer&& message) {
     if (auto conduit = self.lock()) conduit->handle_message(std::move(message));
   });
   channel_->set_on_space([self]() {
-    if (auto conduit = self.lock(); conduit && conduit->on_space_) conduit->on_space_();
+    auto conduit = self.lock();
+    if (conduit && !conduit->splicing_ && conduit->on_space_) conduit->on_space_();
   });
   channel_->set_on_failed([self]() {
     if (auto conduit = self.lock()) conduit->handle_channel_failed();
@@ -127,6 +134,8 @@ void Conduit::attach_channel(agent::ChannelPtr channel) {
     // so the peer's bye_ack can still beat the drain timer.
     send_control(VMsg::bye);
   }
+  splicing_ = false;
+  if (writable() && on_space_) on_space_();
 }
 
 void Conduit::handle_message(Buffer&& message) {
@@ -364,8 +373,10 @@ void Conduit::retransmit_retained() {
           telemetry::Tracer::arg("count", std::to_string(retained_.size())));
     }
   }
-  for (auto& [seq, message] : retained_) {
-    (void)seq;
+  // Index loop: a reentrant Conduit::send (e.g. an ack-driven on_space_)
+  // may push_back into the deque mid-replay, which invalidates iterators.
+  for (std::size_t i = 0; i < retained_.size(); ++i) {
+    const Buffer& message = retained_[i].second;
     const Status s = channel_->send(Buffer(message.data(), message.size()));
     if (!s.is_ok()) {
       FF_LOG(warn, "core") << "conduit retransmit failed: " << s;

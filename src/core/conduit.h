@@ -217,6 +217,10 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
   orch::Transport pre_failover_transport_ = orch::Transport::tcp_overlay;
   SimTime blackout_started_ = 0;
   bool in_blackout_ = false;
+  /// True while attach_channel replays the retained window and drains the
+  /// blackout queue: writable notifications are deferred until the splice
+  /// completes so no new sequence can interleave with the replay on the wire.
+  bool splicing_ = false;
   SimTime window_full_since_ = 0;
   SimDuration blackout_ns_total_ = 0;
 };

@@ -41,6 +41,24 @@ void ContainerNet::adopt_conduit(const ConduitPtr& conduit) {
   });
 }
 
+void ContainerNet::adopt_stream_conduit(const ConduitPtr& conduit, StreamHooks hooks) {
+  adopt_conduit(conduit);
+  stream_hooks_.emplace(conduit->token(), std::move(hooks));
+  // Replace the plain teardown hook: also release the adapter's state.
+  auto self = weak_from_this();
+  conduit->set_on_teardown([self, token = conduit->token()]() {
+    auto net = self.lock();
+    if (net == nullptr) return;
+    net->conduits_.erase(token);
+    auto it = net->stream_hooks_.find(token);
+    if (it == net->stream_hooks_.end()) return;
+    // Extract first: the adapter's teardown may re-enter conduit maps.
+    auto stream_hooks = std::move(it->second);
+    net->stream_hooks_.erase(it);
+    if (stream_hooks.teardown) stream_hooks.teardown();
+  });
+}
+
 void ContainerNet::close_all_conduits() {
   std::vector<ConduitPtr> snapshot;
   snapshot.reserve(conduits_.size());
@@ -372,6 +390,13 @@ void ContainerNet::handle_health_event(fabric::HostId host) {
 }
 
 void ContainerNet::refit_conduit(const ConduitPtr& conduit) {
+  // Stream-adapter conduits pick their own transports (they fall back to
+  // overlay TCP where open_channel_for refuses, and upgrade to per-stream
+  // RC QPs): health events and lane failures route to the adapter instead.
+  if (auto it = stream_hooks_.find(conduit->token()); it != stream_hooks_.end()) {
+    if (it->second.refit) it->second.refit(conduit);
+    return;
+  }
   auto self = weak_from_this();
   ff_.selector_on(container_->host()).decide(id(), conduit->peer(),
                         [self, conduit](Result<orch::TransportDecision> d) {
@@ -417,13 +442,16 @@ void ContainerNet::handle_self_moved() {
   register_with_agent();
   for (auto& [token, conduit] : conduits_) {
     conduit->mark_stale();
-    if (conduit->initiator()) {
-      open_channel_for(conduit, /*rebinding=*/true, [](Status st) {
-        if (!st.is_ok()) {
-          FF_LOG(warn, "core") << "re-bind after self-move failed: " << st;
-        }
-      });
+    if (!conduit->initiator()) continue;
+    if (auto it = stream_hooks_.find(token); it != stream_hooks_.end()) {
+      if (it->second.refit) it->second.refit(conduit);
+      continue;
     }
+    open_channel_for(conduit, /*rebinding=*/true, [](Status st) {
+      if (!st.is_ok()) {
+        FF_LOG(warn, "core") << "re-bind after self-move failed: " << st;
+      }
+    });
   }
 }
 
@@ -431,13 +459,16 @@ void ContainerNet::handle_peer_moved(orch::ContainerId peer) {
   for (auto& [token, conduit] : conduits_) {
     if (conduit->peer() != peer) continue;
     conduit->mark_stale();
-    if (conduit->initiator()) {
-      open_channel_for(conduit, /*rebinding=*/true, [](Status st) {
-        if (!st.is_ok()) {
-          FF_LOG(warn, "core") << "re-bind after peer-move failed: " << st;
-        }
-      });
+    if (!conduit->initiator()) continue;
+    if (auto it = stream_hooks_.find(token); it != stream_hooks_.end()) {
+      if (it->second.refit) it->second.refit(conduit);
+      continue;
     }
+    open_channel_for(conduit, /*rebinding=*/true, [](Status st) {
+      if (!st.is_ok()) {
+        FF_LOG(warn, "core") << "re-bind after peer-move failed: " << st;
+      }
+    });
   }
 }
 

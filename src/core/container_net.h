@@ -103,6 +103,19 @@ class ContainerNet : public std::enable_shared_from_this<ContainerNet> {
   /// FreeFlow-internal: register with the (current) host agent.
   void register_with_agent();
 
+  // ---- stream adapter hooks (src/stream) --------------------------------
+  /// A stream-adapter conduit is owned here like any other (teardown,
+  /// telemetry, health routing), but its transport decisions are delegated:
+  /// the adapter embraces tcp_overlay as a fallback where open_channel_for
+  /// refuses it, and upgrades to per-stream RC QPs out of band.
+  struct StreamHooks {
+    /// Replaces refit_conduit: re-decide and splice per adapter policy.
+    std::function<void(const ConduitPtr&)> refit;
+    /// Runs after the conduit leaves conduits_ (close/teardown).
+    std::function<void()> teardown;
+  };
+  void adopt_stream_conduit(const ConduitPtr& conduit, StreamHooks hooks);
+
  private:
   friend class VirtualQp;
   friend class FlowSocket;
@@ -134,6 +147,9 @@ class ContainerNet : public std::enable_shared_from_this<ContainerNet> {
   std::map<std::uint16_t, QpAcceptFn> qp_listeners_;
   std::map<std::uint16_t, SockAcceptFn> sock_listeners_;
   std::unordered_map<std::uint64_t, ConduitPtr> conduits_;
+  /// Conduits whose transport policy is delegated to the stream adapter,
+  /// keyed by conduit token. Entries mirror conduits_ membership.
+  std::unordered_map<std::uint64_t, StreamHooks> stream_hooks_;
   /// Incoming channels awaiting their routing (first) message. Owned here —
   /// the channel's own callbacks never keep it alive (no self-cycle).
   std::map<agent::Channel*, agent::ChannelPtr> pending_incoming_;

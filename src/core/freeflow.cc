@@ -47,6 +47,16 @@ FreeFlow::FreeFlow(orch::NetworkOrchestrator& orchestrator, agent::AgentConfig c
   });
 }
 
+tcp::TcpNetwork& FreeFlow::fallback_net() {
+  if (fallback_net_ == nullptr) {
+    auto& cluster_orch = orchestrator_.cluster_orch();
+    fallback_net_ = std::make_unique<tcp::TcpNetwork>(
+        loop(), cluster_orch.cluster().cost_model(),
+        cluster_orch.overlay().path_builder());
+  }
+  return *fallback_net_;
+}
+
 TransportSelector& FreeFlow::selector_on(fabric::HostId host) {
   auto it = selectors_.find(host);
   if (it == selectors_.end()) {

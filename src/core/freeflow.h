@@ -38,6 +38,11 @@ class FreeFlow {
   [[nodiscard]] TransportSelector& selector() { return selector_on(0); }
   [[nodiscard]] sim::EventLoop& loop() noexcept { return agents_.loop(); }
 
+  /// The deployment-shared overlay TCP network the stream adapter
+  /// (src/stream) falls back to when the selector withholds RDMA. One
+  /// shared instance so listeners and dials demux on the same tables.
+  [[nodiscard]] tcp::TcpNetwork& fallback_net();
+
   [[nodiscard]] std::uint64_t next_token() noexcept { return next_token_++; }
 
  private:
@@ -47,6 +52,7 @@ class FreeFlow {
   orch::ShardedControlPlane plane_;
   agent::AgentFabric agents_;
   std::unordered_map<fabric::HostId, std::unique_ptr<TransportSelector>> selectors_;
+  std::unique_ptr<tcp::TcpNetwork> fallback_net_;
   std::unordered_map<orch::ContainerId, ContainerNetPtr> nets_;
   std::uint64_t next_token_ = 1;
   /// Liveness token for orchestrator subscriptions: the orchestrator can

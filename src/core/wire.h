@@ -29,6 +29,11 @@ enum class VMsg : std::uint8_t {
   bye,           ///< teardown: the sending side closed conduit `token`
   bye_ack,       ///< close handshake: bye received, drain complete
   ack,           ///< conduit ARQ: cumulative receive ack (highest seq in `id`)
+  // ---- stream adapter (src/stream): TSoR-style RC upgrade handshake ----
+  rc_offer,      ///< initiator offers a per-stream RC QP (`id` = qp num, `offset` = host)
+  rc_answer,     ///< peer's QP is connected and ready (`id` = qp num, `offset` = host)
+  rc_switch,     ///< first message on the fresh RC channel: replace the tcp path
+  rc_credit,     ///< RC flow control: `id` receive credits returned to the sender
 };
 
 struct WireHeader {

@@ -166,6 +166,16 @@ void QueuePair::rx_data_chunk(const std::shared_ptr<RdmaChunk>& chunk) {
       }
       prog.received += static_cast<std::uint32_t>(chunk->payload.size());
       if (chunk->last) {
+        if (prog.error == WcStatus::success && prog.received != chunk->total_len) {
+          // Earlier chunks were dropped (RDMA engine bounced mid-message).
+          // Real RC tracks PSN continuity, so a receive with a hole can
+          // never complete successfully — treat the message as lost in the
+          // fabric: no completion, no ack, and the posted buffer goes back
+          // for the next message. Recovery belongs to the layer above.
+          rq_.push_front(*prog.recv_wr);
+          rx_progress_.erase(chunk->msg_id);
+          break;
+        }
         WorkCompletion wc;
         wc.wr_id = prog.recv_wr->wr_id;
         wc.opcode = Opcode::recv;
