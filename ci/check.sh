@@ -15,7 +15,7 @@
 #   2 test           ctest, normal config
 #   3 build-asan     ASan+UBSan config, warnings-as-errors
 #   4 test-asan      ctest under ASan+UBSan with LeakSanitizer ENABLED
-#   5 chaos-smoke    failover matrix (test_faults) under LeakSanitizer
+#   5 chaos-smoke    failover + migration matrices under LSan, migration bench + trace
 #   6 examples-smoke quickstart + mapreduce_shuffle run end-to-end (timed)
 #   7 bench-smoke    bench_sim_core + storms + bench_socket_stream --json
 #   8 trace-validate failover + socket-stream traces vs expected timelines
@@ -118,6 +118,15 @@ stage_chaos_smoke() {
   # ran in stage 4 alongside everything else — this stage re-runs it alone so a
   # chaos regression is named by the gate that owns it.
   ./build-asan/tests/test_faults --gtest_brief=1
+  # Same treatment for the migration matrix: planned moves racing NIC death,
+  # quiesce-deadline expiry, and proactive partition evacuation under
+  # ASan+LSan. The bench then ping-pongs a container under live verified
+  # traffic and must show the full coordinated protocol in its trace.
+  ./build-asan/tests/test_migration --gtest_brief=1
+  ./build/bench/bench_live_migration --json build/BENCH_live_migration.json \
+    --trace build/TRACE_live_migration.json
+  python3 ci/validate_trace.py build/TRACE_live_migration.json \
+    --expect "B:migration,i:quiesce,i:capture,i:transfer,i:resume,E:migration"
 }
 
 stage_examples_smoke() {
@@ -166,6 +175,8 @@ stage_perf_gate() {
     bench/baselines/BENCH_decision_storm.json
   python3 ci/perf_gate.py build/BENCH_socket_stream.json \
     bench/baselines/BENCH_socket_stream.json
+  python3 ci/perf_gate.py build/BENCH_live_migration.json \
+    bench/baselines/BENCH_live_migration.json
 }
 
 # ------------------------------------------------------------------ drive

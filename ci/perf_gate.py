@@ -56,6 +56,23 @@ bench_socket_stream:
   4. HARD  ``failover_transfer_mb`` >= baseline: the transfer may not be
      quietly shrunk to dodge the fault window.
   5. INFO  RTTs, raw-RDMA headroom, receiver byte split (rdma vs tcp).
+
+bench_live_migration:
+  1. HARD  ``lost_bytes`` == ``pattern_mismatches`` == ``stream_lost_bytes``
+     == ``stream_pattern_mismatches`` == 0: a planned migration is
+     connection-preserving or it is broken — both the FlowSocket and the
+     sockets-over-RDMA stream verify every byte in order.
+  2. HARD  ``planned_blackout_max_ms`` < ``reactive_blackout_ms``: the
+     coordinated quiesce/capture/resume protocol must beat the reactive
+     stop-and-copy blackout measured in the *same* run — self-relative on
+     the sim clock, immune to box noise.
+  3. HARD  ``planned_blackout_p99_ms`` <= baseline * (1 +
+     STORM_P99_TOLERANCE): deterministic sim-clock tail; the tolerance only
+     absorbs intentional cost-model adjustments.
+  4. HARD  ``migrations`` >= baseline and ``colocated_shm`` == 1: the
+     ping-pong may not be quietly shrunk, and migrating the server onto its
+     peer's host must land the resumed conduits on shm.
+  5. INFO  p50, coordinator-side blackout, image bytes, quiesce timeouts.
 """
 
 import json
@@ -261,11 +278,81 @@ def gate_socket_stream(fresh, base):
     return failures
 
 
+def gate_live_migration(fresh, base):
+    failures = []
+
+    for key in ("lost_bytes", "pattern_mismatches", "stream_lost_bytes",
+                "stream_pattern_mismatches"):
+        v = fresh.get(key, -1)
+        print(f"perf-gate: {key}: {v:.0f} (hard 0)")
+        if v != 0:
+            failures.append(
+                f"{key} = {v:.0f} — a migrated connection lost or reordered "
+                "bytes, hard zero"
+            )
+
+    planned_max = fresh.get("planned_blackout_max_ms", -1.0)
+    reactive = fresh.get("reactive_blackout_ms", 0.0)
+    print(
+        f"perf-gate: planned blackout max {planned_max:.3f}ms vs reactive"
+        f" {reactive:.3f}ms measured in the same run (hard <)"
+    )
+    if not 0 <= planned_max < reactive:
+        failures.append(
+            f"planned blackout max {planned_max:.3f}ms is not strictly below "
+            f"the reactive stop-and-copy blackout {reactive:.3f}ms — the "
+            "coordinated protocol lost its reason to exist"
+        )
+
+    p99 = fresh.get("planned_blackout_p99_ms", 0.0)
+    base_p99 = base.get("planned_blackout_p99_ms", 0.0)
+    if base_p99 > 0:
+        ratio = p99 / base_p99
+        ceiling = 1.0 + STORM_P99_TOLERANCE
+        print(
+            f"perf-gate: planned blackout p99 {p99:.4g}ms vs baseline"
+            f" {base_p99:.4g}ms ({ratio:.0%}; hard ceiling {ceiling:.0%})"
+        )
+        if ratio > ceiling:
+            failures.append(
+                f"planned_blackout_p99_ms at {ratio:.0%} of baseline "
+                f"(> {ceiling:.0%}) — sim-clock blackout regressed, this is "
+                "not box noise"
+            )
+    else:
+        failures.append("baseline has no planned_blackout_p99_ms metric")
+
+    moves = fresh.get("migrations", 0)
+    base_moves = base.get("migrations", 0)
+    print(f"perf-gate: planned migrations {moves:.0f} (baseline {base_moves:.0f})")
+    if moves < base_moves:
+        failures.append(
+            f"migration count shrank to {moves:.0f} (baseline {base_moves:.0f})"
+        )
+
+    shm = fresh.get("colocated_shm", 0)
+    print(f"perf-gate: co-located finale picked shm: {shm:.0f} (hard 1)")
+    if shm != 1:
+        failures.append(
+            "migrating the server onto its peer's host did not land on shm"
+        )
+
+    for key in ("planned_blackout_p50_ms", "coordinator_blackout_max_ms",
+                "conduits_moved", "image_bytes", "quiesce_timeouts",
+                "all_drained"):
+        if key in fresh:
+            b = f" (baseline {base[key]:.6g})" if key in base else ""
+            print(f"perf-gate: info {key} = {fresh[key]:.6g}{b}")
+
+    return failures
+
+
 GATES = {
     "sim_core": gate_sim_core,
     "connect_storm": gate_connect_storm,
     "decision_storm": gate_decision_storm,
     "socket_stream": gate_socket_stream,
+    "live_migration": gate_live_migration,
 }
 
 

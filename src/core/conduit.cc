@@ -1,5 +1,6 @@
 #include "core/conduit.h"
 
+#include <cstring>
 #include <string>
 
 #include "common/logging.h"
@@ -38,10 +39,21 @@ void Conduit::set_telemetry(telemetry::Telemetry* hub) {
 
 void Conduit::send(const WireHeader& header, ByteSpan payload) {
   if (closed_ || closing_) return;  // teardown races with in-flight sends
+  if (migrating_) {
+    // Connection state is in flight with the container: tx_seq_ travels in
+    // the image, so sequencing now would fork the numbering. Park the send;
+    // restore_from_migration re-sequences it behind the transferred state.
+    pending_sends_.emplace_back(header,
+                                Buffer(payload.data(), payload.size()));
+    return;
+  }
   WireHeader h = header;
   h.seq = ++tx_seq_;
   Buffer message = make_message(h, payload);
-  if (channel_ == nullptr) {
+  if (channel_ == nullptr || paused_) {
+    // Detached, or transmit-frozen for quiesce: the sequence is assigned
+    // (message-boundary pause keeps ordering contiguous) but the bytes wait
+    // in the queue until drain() runs again.
     queue_.push_back(std::move(message));
     return;
   }
@@ -94,7 +106,9 @@ void Conduit::attach_channel(agent::ChannelPtr channel) {
   });
   channel_->set_on_space([self]() {
     auto conduit = self.lock();
-    if (conduit && !conduit->splicing_ && conduit->on_space_) conduit->on_space_();
+    if (conduit && !conduit->splicing_ && !conduit->paused_ && conduit->on_space_) {
+      conduit->on_space_();
+    }
   });
   channel_->set_on_failed([self]() {
     if (auto conduit = self.lock()) conduit->handle_channel_failed();
@@ -227,12 +241,17 @@ void Conduit::handle_ack(std::uint64_t acked_upto) {
     retained_.pop_front();
   }
   gauge_retained_->set(static_cast<std::int64_t>(retained_.size()));
+  if (quiesce_done_ && retained_.empty()) {
+    // The quiesce drain just completed: every sequence this side ever put on
+    // a lossy wire is acknowledged, so the capture carries no replay tail.
+    finish_quiesce(/*drained=*/true);
+  }
   if (was_full && retained_.size() < k_max_retained) {
     if (loop_ != nullptr && window_full_since_ != 0) {
       ctr_blocked_ns_->inc(static_cast<std::uint64_t>(loop_->now() - window_full_since_));
       window_full_since_ = 0;
     }
-    if (on_space_) on_space_();
+    if (!paused_ && on_space_) on_space_();
   }
 }
 
@@ -253,6 +272,14 @@ void Conduit::handle_channel_failed() {
   if (closing_) {
     // The path carrying our bye died; the ack can never come.
     finish_close(CloseReason::transport_failed, /*notify_peer=*/false);
+    return;
+  }
+  if (paused_) {
+    // Mid-quiesce lane death (e.g. migration racing a NIC failure): detach,
+    // but do NOT trigger the observer's reactive rebind — the coordinator
+    // owns this conduit's next attach. Retained messages can no longer
+    // drain, so the quiesce deadline will fire and capture carries them.
+    mark_stale();
     return;
   }
   mark_stale();
@@ -309,6 +336,9 @@ void Conduit::finish_close(CloseReason reason, bool notify_peer) {
   close_reason_ = reason;
   drain_timer_.cancel();
   ack_timer_.cancel();
+  quiesce_timer_.cancel();
+  quiesce_done_ = nullptr;
+  pending_sends_.clear();
   if (in_blackout_) {
     // Close during a failover gap: end the span so B/E stay balanced.
     in_blackout_ = false;
@@ -389,8 +419,157 @@ void Conduit::retransmit_retained() {
   }
 }
 
+void Conduit::unpause() {
+  if (!paused_) return;
+  paused_ = false;
+  drain();
+  if (since_ack_ > 0 || resync_ack_) arm_ack_timer();
+  if (writable() && on_space_) on_space_();
+}
+
+void Conduit::quiesce(SimDuration deadline, std::function<void(bool)> done) {
+  pause();
+  FF_CHECK(!quiesce_done_);  // one quiesce at a time per conduit
+  if (retained_.empty()) {
+    // Nothing unacked on a lossy wire (or the channel is lossless shm):
+    // the pause alone is a clean message boundary.
+    done(true);
+    return;
+  }
+  quiesce_done_ = std::move(done);
+  if (loop_ == nullptr) {
+    // Clockless conduit: no deadline to wait out, capture the tail as-is.
+    finish_quiesce(/*drained=*/false);
+    return;
+  }
+  auto self = weak_from_this();
+  quiesce_timer_ = loop_->schedule_cancellable(deadline, [self]() {
+    auto conduit = self.lock();
+    if (conduit != nullptr) conduit->finish_quiesce(/*drained=*/false);
+  });
+}
+
+void Conduit::finish_quiesce(bool drained) {
+  quiesce_timer_.cancel();
+  auto cb = std::move(quiesce_done_);
+  quiesce_done_ = nullptr;
+  if (cb) cb(drained);
+}
+
+namespace {
+template <typename T>
+void put_scalar(Buffer& out, T v) {
+  out.append(&v, sizeof(T));
+}
+template <typename T>
+bool get_scalar(ByteSpan in, std::size_t& at, T& v) {
+  if (in.size() - at < sizeof(T)) return false;
+  std::memcpy(&v, in.data() + at, sizeof(T));
+  at += sizeof(T);
+  return true;
+}
+void put_buffer(Buffer& out, const Buffer& b) {
+  put_scalar(out, static_cast<std::uint32_t>(b.size()));
+  out.append(b.view());
+}
+bool get_buffer(ByteSpan in, std::size_t& at, Buffer& b) {
+  std::uint32_t len = 0;
+  if (!get_scalar(in, at, len)) return false;
+  if (in.size() - at < len) return false;
+  b = Buffer(in.data() + at, len);
+  at += len;
+  return true;
+}
+}  // namespace
+
+Buffer Conduit::capture_for_migration() {
+  FF_CHECK(paused_ && !migrating_ && !closed_);
+  Buffer record;
+  put_scalar(record, token_);
+  put_scalar(record, tx_seq_);
+  put_scalar(record, rx_next_);
+  put_scalar(record, since_ack_);
+  put_scalar(record, static_cast<std::uint8_t>(resync_ack_ ? 1 : 0));
+  // RC QP identity travels as the transport in use at capture; the actual
+  // QP is rebuilt at the destination through the same generation-guarded
+  // rebind failover uses (§9) — identity is the (token, transport) pair,
+  // not the simulated queue-pair number, which is host-local.
+  put_scalar(record, static_cast<std::uint8_t>(transport()));
+  put_scalar(record, static_cast<std::uint16_t>(0));  // reserved
+  put_scalar(record, static_cast<std::uint32_t>(retained_.size()));
+  put_scalar(record, static_cast<std::uint32_t>(queue_.size()));
+  for (const auto& [seq, message] : retained_) put_buffer(record, message);
+  for (const auto& message : queue_) put_buffer(record, message);
+  // The state now lives in the record. Wipe the local copy so a stale
+  // source-side conduit can never emit these sequences again, and detach —
+  // this opens the blackout span and bumps the rebind generation, exactly
+  // like a failover mark_stale.
+  tx_seq_ = 0;
+  rx_next_ = 1;
+  since_ack_ = 0;
+  resync_ack_ = false;
+  retained_.clear();
+  queue_.clear();
+  gauge_retained_->set(0);
+  ack_timer_.cancel();
+  migrating_ = true;
+  mark_stale();
+  return record;
+}
+
+Status Conduit::restore_from_migration(ByteSpan record) {
+  FF_CHECK(paused_ && migrating_ && !closed_);
+  std::size_t at = 0;
+  std::uint64_t token = 0, tx_seq = 0, rx_next = 0, since_ack = 0;
+  std::uint8_t resync = 0, transport_at_capture = 0;
+  std::uint16_t reserved = 0;
+  std::uint32_t n_retained = 0, n_queued = 0;
+  if (!get_scalar(record, at, token) || !get_scalar(record, at, tx_seq) ||
+      !get_scalar(record, at, rx_next) || !get_scalar(record, at, since_ack) ||
+      !get_scalar(record, at, resync) ||
+      !get_scalar(record, at, transport_at_capture) ||
+      !get_scalar(record, at, reserved) ||
+      !get_scalar(record, at, n_retained) || !get_scalar(record, at, n_queued)) {
+    return invalid_argument("migration record truncated");
+  }
+  if (token != token_) return invalid_argument("migration record token mismatch");
+  tx_seq_ = tx_seq;
+  rx_next_ = rx_next;
+  since_ack_ = since_ack;
+  resync_ack_ = resync != 0;
+  retained_.clear();
+  queue_.clear();
+  for (std::uint32_t i = 0; i < n_retained; ++i) {
+    Buffer message;
+    if (!get_buffer(record, at, message)) {
+      return invalid_argument("migration record truncated (retained)");
+    }
+    const std::uint64_t seq = WireHeader::decode(message.data()).seq;
+    retained_.emplace_back(seq, std::move(message));
+  }
+  for (std::uint32_t i = 0; i < n_queued; ++i) {
+    Buffer message;
+    if (!get_buffer(record, at, message)) {
+      return invalid_argument("migration record truncated (queued)");
+    }
+    queue_.push_back(std::move(message));
+  }
+  if (at != record.size()) return invalid_argument("migration record trailing bytes");
+  gauge_retained_->set(static_cast<std::int64_t>(retained_.size()));
+  migrating_ = false;
+  // Sends parked during the move get their sequences now, behind the
+  // transferred counter — order is exactly the app's send order.
+  while (!pending_sends_.empty()) {
+    auto [h, payload] = std::move(pending_sends_.front());
+    pending_sends_.pop_front();
+    h.seq = ++tx_seq_;
+    queue_.push_back(make_message(h, payload.view()));
+  }
+  return ok_status();
+}
+
 void Conduit::drain() {
-  while (!queue_.empty() && channel_ != nullptr) {
+  while (!queue_.empty() && channel_ != nullptr && !paused_) {
     Buffer message = std::move(queue_.front());
     queue_.pop_front();
     ++sent_;

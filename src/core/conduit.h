@@ -16,6 +16,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <utility>
 
 #include "agent/channel.h"
@@ -26,6 +27,27 @@
 #include "telemetry/telemetry.h"
 
 namespace freeflow::core {
+
+/// Why a conduit last changed hosts (surfaced through ConnectionInfo).
+enum class MigrationReason : std::uint8_t {
+  none = 0,        ///< never migrated
+  planned,         ///< operator-requested coordinated move
+  degraded_nic,    ///< proactive: source NIC rate_fraction below threshold
+  path_partition,  ///< proactive: inter-host path down, co-locate with peer
+  reactive,        ///< unplanned stop-and-copy move (no coordinator)
+};
+
+[[nodiscard]] constexpr std::string_view migration_reason_name(
+    MigrationReason r) noexcept {
+  switch (r) {
+    case MigrationReason::none: return "none";
+    case MigrationReason::planned: return "planned";
+    case MigrationReason::degraded_nic: return "degraded_nic";
+    case MigrationReason::path_partition: return "path_partition";
+    case MigrationReason::reactive: return "reactive";
+  }
+  return "?";
+}
 
 class Conduit : public std::enable_shared_from_this<Conduit> {
  public:
@@ -53,6 +75,55 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
 
   /// Migration / failover: detach; sends queue until a new channel attaches.
   void mark_stale();
+
+  // --- Planned live migration (driven by migration::MigrationCoordinator) --
+
+  /// Stops putting new sequences on the wire at a message boundary: sends
+  /// queue, drain() is inhibited, writable() deasserts. The receive path —
+  /// including ack generation — stays live so the peer's retained window
+  /// (and ours, via the peer's acks) can still drain.
+  void pause() noexcept { paused_ = true; }
+  /// Re-enables transmission; drains whatever queued while paused and fires
+  /// on_space if the conduit is writable again.
+  void unpause();
+  [[nodiscard]] bool paused() const noexcept { return paused_; }
+
+  /// Quiesce for capture: pause(), then wait (sim clock) until the retained
+  /// window is fully acked or `deadline` expires. `done(drained)` fires
+  /// exactly once. A false result is not fatal — capture simply carries the
+  /// undrained tail, which replays at the destination and peers dedup, the
+  /// same lossless path as reactive failover.
+  void quiesce(SimDuration deadline, std::function<void(bool)> done);
+
+  /// Serializes the portable connection state (sequence counters, ack
+  /// bookkeeping, retained window, blackout queue) into a flat record and
+  /// WIPES it locally: the conduit detaches (generation-guarded, blackout
+  /// span opens) and enters the migrating state, where application sends
+  /// park un-sequenced until restore. Call only while paused.
+  [[nodiscard]] Buffer capture_for_migration();
+  /// Inverse of capture: reloads the record (token must match), leaves the
+  /// migrating state and re-sequences any sends parked during the move.
+  /// The conduit stays paused and detached; the coordinator rebinds through
+  /// the normal generation-guarded path, which replays the retained window.
+  [[nodiscard]] Status restore_from_migration(ByteSpan record);
+  /// True between capture and restore: connection state is in flight.
+  [[nodiscard]] bool migrating() const noexcept { return migrating_; }
+
+  /// Coordinator bookkeeping on completion (both endpoints).
+  void note_migration_complete(SimDuration blackout, MigrationReason reason) noexcept {
+    ++migrations_completed_;
+    last_blackout_ns_ = blackout;
+    last_migration_reason_ = reason;
+  }
+  [[nodiscard]] std::uint64_t migrations_completed() const noexcept {
+    return migrations_completed_;
+  }
+  [[nodiscard]] SimDuration last_blackout_ns() const noexcept {
+    return last_blackout_ns_;
+  }
+  [[nodiscard]] MigrationReason last_migration_reason() const noexcept {
+    return last_migration_reason_;
+  }
 
   /// Orderly teardown (app close): sends `bye` and — when a sim clock is
   /// available — waits for the peer's bye_ack up to the drain timeout
@@ -101,8 +172,8 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
 
   [[nodiscard]] bool live() const noexcept { return channel_ != nullptr; }
   [[nodiscard]] bool writable() const noexcept {
-    return channel_ != nullptr && queue_.empty() && channel_->writable() &&
-           retained_.size() < k_max_retained;
+    return channel_ != nullptr && !paused_ && queue_.empty() &&
+           channel_->writable() && retained_.size() < k_max_retained;
   }
   [[nodiscard]] orch::Transport transport() const noexcept {
     return channel_ == nullptr ? orch::Transport::tcp_overlay : channel_->transport();
@@ -155,6 +226,7 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
   void note_window_filled();
   void send_control(VMsg type, std::uint64_t ack_upto = 0);
   void finish_close(CloseReason reason, bool notify_peer);
+  void finish_quiesce(bool drained);
   [[nodiscard]] bool should_retain() const noexcept {
     return channel_ != nullptr && channel_->transport() != orch::Transport::shm;
   }
@@ -223,6 +295,21 @@ class Conduit : public std::enable_shared_from_this<Conduit> {
   bool splicing_ = false;
   SimTime window_full_since_ = 0;
   SimDuration blackout_ns_total_ = 0;
+
+  // --- planned-migration state ---
+  /// Transmit-side freeze: sends queue, drain() inhibited, writable() false.
+  bool paused_ = false;
+  /// Between capture and restore: connection state travels with the
+  /// container; app sends park un-sequenced in pending_sends_.
+  bool migrating_ = false;
+  /// (header, payload) pairs sent while migrating — sequenced on restore so
+  /// the transferred tx_seq_ stays authoritative.
+  std::deque<std::pair<WireHeader, Buffer>> pending_sends_;
+  std::function<void(bool)> quiesce_done_;
+  sim::EventHandle quiesce_timer_;
+  std::uint64_t migrations_completed_ = 0;
+  SimDuration last_blackout_ns_ = 0;
+  MigrationReason last_migration_reason_ = MigrationReason::none;
 };
 
 using ConduitPtr = std::shared_ptr<Conduit>;

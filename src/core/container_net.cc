@@ -376,6 +376,9 @@ void ContainerNet::handle_health_event(fabric::HostId host) {
   for (auto& [token, conduit] : conduits_) snapshot.push_back(conduit);
   for (auto& conduit : snapshot) {
     if (conduit->closed() || conduit->closing()) continue;
+    // Paused/migrating conduits belong to the migration coordinator: a
+    // health-driven refit here would race its capture/restore protocol.
+    if (conduit->paused() || conduit->migrating()) continue;
     auto peer_loc = ff_.orchestrator().locate(conduit->peer());
     if (!peer_loc.is_ok()) continue;
     const bool touches =
@@ -390,6 +393,7 @@ void ContainerNet::handle_health_event(fabric::HostId host) {
 }
 
 void ContainerNet::refit_conduit(const ConduitPtr& conduit) {
+  if (conduit->paused() || conduit->migrating()) return;  // coordinator owns it
   // Stream-adapter conduits pick their own transports (they fall back to
   // overlay TCP where open_channel_for refuses, and upgrade to per-stream
   // RC QPs): health events and lane failures route to the adapter instead.
@@ -426,7 +430,9 @@ std::vector<ContainerNet::ConnectionInfo> ContainerNet::connections() const {
                                  c->messages_received(), c->rebinds(),
                                  c->retransmits(), c->blackout_ns(),
                                  c->live(), c->writable(), c->retained_count(),
-                                 c->queued_count(), c->channel_writable()});
+                                 c->queued_count(), c->channel_writable(),
+                                 c->migrations_completed(), c->last_blackout_ns(),
+                                 c->last_migration_reason()});
   }
   return out;
 }
@@ -452,6 +458,47 @@ void ContainerNet::handle_self_moved() {
         FF_LOG(warn, "core") << "re-bind after self-move failed: " << st;
       }
     });
+  }
+}
+
+// ------------------------------------------------- planned migration hooks
+
+ConduitPtr ContainerNet::find_conduit(std::uint64_t token) const {
+  auto it = conduits_.find(token);
+  return it == conduits_.end() ? nullptr : it->second;
+}
+
+void ContainerNet::quiesce_stream_state(std::uint64_t token) {
+  if (auto it = stream_hooks_.find(token); it != stream_hooks_.end()) {
+    if (it->second.quiesce) it->second.quiesce();
+  }
+}
+
+void ContainerNet::resume_migrated_conduit(const ConduitPtr& conduit) {
+  if (conduit->closed() || conduit->closing()) return;
+  if (auto it = stream_hooks_.find(conduit->token()); it != stream_hooks_.end()) {
+    if (it->second.refit) it->second.refit(conduit);
+    return;
+  }
+  open_channel_for(conduit, /*rebinding=*/true, [](Status st) {
+    if (!st.is_ok()) {
+      FF_LOG(warn, "core") << "re-bind after planned migration failed: " << st;
+    }
+  });
+}
+
+void ContainerNet::freeze_all_conduits() {
+  for (auto& [token, conduit] : conduits_) {
+    if (conduit->closed() || conduit->closing() || conduit->migrating()) continue;
+    conduit->mark_stale();
+  }
+}
+
+void ContainerNet::freeze_conduits_to(orch::ContainerId peer) {
+  for (auto& [token, conduit] : conduits_) {
+    if (conduit->peer() != peer) continue;
+    if (conduit->closed() || conduit->closing() || conduit->migrating()) continue;
+    conduit->mark_stale();
   }
 }
 

@@ -97,6 +97,10 @@ class ContainerNet : public std::enable_shared_from_this<ContainerNet> {
     std::size_t retained; ///< sent-but-unacked window depth
     std::size_t queued;   ///< messages waiting for a channel
     bool channel_writable;
+    // --- migration introspection (src/migration) ---
+    std::uint64_t migrations_completed;  ///< coordinated moves survived
+    SimDuration last_blackout_ns;        ///< blackout of the most recent move
+    MigrationReason last_migration_reason;
   };
   [[nodiscard]] std::vector<ConnectionInfo> connections() const;
 
@@ -113,8 +117,30 @@ class ContainerNet : public std::enable_shared_from_this<ContainerNet> {
     std::function<void(const ConduitPtr&)> refit;
     /// Runs after the conduit leaves conduits_ (close/teardown).
     std::function<void()> teardown;
+    /// Planned migration: cancel in-flight upgrade/dial state for this
+    /// stream so no half-built RC channel attaches mid-move. The adapter's
+    /// credit/handshake position is already inside the conduit's sequenced
+    /// history, so it travels with the MigrationImage for free.
+    std::function<void()> quiesce;
   };
   void adopt_stream_conduit(const ConduitPtr& conduit, StreamHooks hooks);
+
+  // ---- planned migration hooks (src/migration) --------------------------
+  /// Conduit lookup by token (both endpoints share the token).
+  [[nodiscard]] ConduitPtr find_conduit(std::uint64_t token) const;
+  /// Tells the stream adapter (if this token is adapter-owned) to cancel
+  /// in-flight upgrade state ahead of capture. No-op for plain conduits.
+  void quiesce_stream_state(std::uint64_t token);
+  /// Drives the post-restore rebind of a migrated (or peer-of-migrated)
+  /// conduit through the initiator side: stream-adapter conduits go through
+  /// the adapter's refit, plain ones through open_channel_for(rebinding).
+  void resume_migrated_conduit(const ConduitPtr& conduit);
+  /// Reactive-move freeze: detach every conduit (mark_stale only — sends
+  /// queue, blackout span opens) so no bytes die in a channel while the
+  /// container is stop-and-copied. The moved_ notification rebinds later.
+  void freeze_all_conduits();
+  /// Peer-side half of the freeze, scoped to conduits toward `peer`.
+  void freeze_conduits_to(orch::ContainerId peer);
 
  private:
   friend class VirtualQp;

@@ -11,6 +11,10 @@ FreeFlow::FreeFlow(orch::NetworkOrchestrator& orchestrator, agent::AgentConfig c
   std::weak_ptr<bool> alive = alive_;
   orchestrator_.subscribe_moves([this, alive](const orch::Container& moved) {
     if (alive.expired()) return;
+    // A coordinator-driven move resumes through the MigrationImage restore
+    // path instead of the reactive rebind below (the coordinator's own
+    // moves subscription runs after this one).
+    if (planned_.contains(moved.id())) return;
     for (auto& [cid, net] : nets_) {
       if (cid == moved.id()) {
         net->handle_self_moved();
@@ -19,6 +23,22 @@ FreeFlow::FreeFlow(orch::NetworkOrchestrator& orchestrator, agent::AgentConfig c
       }
     }
   });
+  // Reactive (coordinator-less) migration: the instant the container stops
+  // for its stop-and-copy, detach every conduit touching it so no bytes die
+  // in a closed channel during the downtime — sends queue, and the moved
+  // notification above re-binds when the container lands.
+  orchestrator_.cluster_orch().on_migration_started(
+      [this, alive](const orch::Container& moving) {
+        if (alive.expired()) return;
+        if (planned_.contains(moving.id())) return;
+        for (auto& [cid, net] : nets_) {
+          if (cid == moving.id()) {
+            net->freeze_all_conduits();
+          } else if (net->has_conduit_to(moving.id())) {
+            net->freeze_conduits_to(moving.id());
+          }
+        }
+      });
   // Container stops tear their connections down everywhere. A stop caused
   // by a host crash surfaces as host_crashed to the peers' close callbacks.
   orchestrator_.cluster_orch().on_stopped([this, alive](const orch::Container& stopped) {
@@ -80,6 +100,14 @@ Result<ContainerNetPtr> FreeFlow::attach(orch::ContainerId id) {
   net->register_with_agent();
   nets_.emplace(id, net);
   return net;
+}
+
+void FreeFlow::note_planned_migration(orch::ContainerId id, bool active) {
+  if (active) {
+    planned_.insert(id);
+  } else {
+    planned_.erase(id);
+  }
 }
 
 ContainerNetPtr FreeFlow::net(orch::ContainerId id) const {

@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "agent/agent.h"
 #include "core/container_net.h"
@@ -45,6 +46,15 @@ class FreeFlow {
 
   [[nodiscard]] std::uint64_t next_token() noexcept { return next_token_++; }
 
+  /// Migration-coordinator handshake: while `active`, the coordinator owns
+  /// every network-layer consequence of `id`'s move — the built-in moved /
+  /// migration-started handlers skip the container instead of racing the
+  /// quiesce/capture/resume protocol with reactive freezes and rebinds.
+  void note_planned_migration(orch::ContainerId id, bool active);
+  [[nodiscard]] bool planned_migration_active(orch::ContainerId id) const {
+    return planned_.contains(id);
+  }
+
  private:
   orch::NetworkOrchestrator& orchestrator_;
   /// Constructed (and subscribed to container/health events) BEFORE the
@@ -54,6 +64,9 @@ class FreeFlow {
   std::unordered_map<fabric::HostId, std::unique_ptr<TransportSelector>> selectors_;
   std::unique_ptr<tcp::TcpNetwork> fallback_net_;
   std::unordered_map<orch::ContainerId, ContainerNetPtr> nets_;
+  /// Containers currently moved by a MigrationCoordinator (see
+  /// note_planned_migration).
+  std::unordered_set<orch::ContainerId> planned_;
   std::uint64_t next_token_ = 1;
   /// Liveness token for orchestrator subscriptions: the orchestrator can
   /// outlive this FreeFlow, so its callbacks hold a weak observer instead

@@ -70,12 +70,24 @@ void FaultInjector::apply(const FaultEvent& event) {
     case FaultKind::agent_resume:
       agents_.agent_on(event.host).set_paused(false);
       break;
+    case FaultKind::path_partition:
+      orchestrator_.cluster_orch().cluster().tor().set_partitioned(
+          event.host, event.peer, true);
+      break;
+    case FaultKind::path_heal:
+      orchestrator_.cluster_orch().cluster().tor().set_partitioned(
+          event.host, event.peer, false);
+      break;
   }
   record(event);
-  // Agent pauses are invisible to fabric telemetry (the NIC is fine); all
-  // other faults surface in the orchestrator's health map after the modeled
-  // detection latency.
-  if (event.kind != FaultKind::agent_pause && event.kind != FaultKind::agent_resume) {
+  // Agent pauses are invisible to fabric telemetry (the NIC is fine); path
+  // faults surface through path telemetry (both NICs are healthy); all
+  // other faults land in the orchestrator's per-NIC health map after the
+  // modeled detection latency.
+  if (event.kind == FaultKind::path_partition || event.kind == FaultKind::path_heal) {
+    push_path_telemetry(event.host, event.peer);
+  } else if (event.kind != FaultKind::agent_pause &&
+             event.kind != FaultKind::agent_resume) {
     push_telemetry(event.host);
   }
 }
@@ -108,6 +120,21 @@ void FaultInjector::push_telemetry(fabric::HostId id) {
   });
 }
 
+void FaultInjector::push_path_telemetry(fabric::HostId a, fabric::HostId b) {
+  std::weak_ptr<bool> alive = alive_;
+  const SimDuration detect =
+      orchestrator_.cluster_orch().cluster().cost_model().fault_detect_ns;
+  // Same polled-pipeline semantics as NIC telemetry: the path state is
+  // sampled when the probe fires, so a sub-detection-latency blip is never
+  // reported broken.
+  loop().schedule(detect, [this, alive, a, b]() {
+    if (alive.expired()) return;
+    const bool up =
+        !orchestrator_.cluster_orch().cluster().tor().partitioned(a, b);
+    orchestrator_.update_path_health(a, b, up);
+  });
+}
+
 void FaultInjector::record(const FaultEvent& event) {
   ++applied_;
   char line[128];
@@ -115,6 +142,11 @@ void FaultInjector::record(const FaultEvent& event) {
     std::snprintf(line, sizeof(line), "t=%" PRId64 " host=%u %s frac=%.3f\n",
                   loop().now(), event.host, fault_kind_name(event.kind),
                   event.fraction);
+  } else if (event.kind == FaultKind::path_partition ||
+             event.kind == FaultKind::path_heal) {
+    std::snprintf(line, sizeof(line), "t=%" PRId64 " host=%u %s peer=%u\n",
+                  loop().now(), event.host, fault_kind_name(event.kind),
+                  event.peer);
   } else {
     std::snprintf(line, sizeof(line), "t=%" PRId64 " host=%u %s\n", loop().now(),
                   event.host, fault_kind_name(event.kind));

@@ -45,6 +45,9 @@ class FaultInjector {
   /// Models fabric telemetry: after fault_detect_ns, reports the NIC health
   /// *as observed at that later time* to the orchestrator.
   void push_telemetry(fabric::HostId id);
+  /// Path telemetry: after fault_detect_ns, reports the a<->b path state as
+  /// observed at that later time.
+  void push_path_telemetry(fabric::HostId a, fabric::HostId b);
   void crash_host(fabric::HostId id);
   void record(const FaultEvent& event);
 

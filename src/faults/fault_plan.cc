@@ -51,6 +51,13 @@ FaultPlan& FaultPlan::agent_pause(fabric::HostId host, SimTime at,
   return *this;
 }
 
+FaultPlan& FaultPlan::path_partition(fabric::HostId a, fabric::HostId b,
+                                     SimTime at, SimDuration down_for) {
+  add({at, FaultKind::path_partition, a, 1.0, b});
+  add({at + down_for, FaultKind::path_heal, a, 1.0, b});
+  return *this;
+}
+
 std::vector<FaultEvent> FaultPlan::events() const {
   std::vector<FaultEvent> sorted = events_;
   std::stable_sort(sorted.begin(), sorted.end(),
@@ -66,6 +73,11 @@ std::string FaultPlan::describe() const {
       std::snprintf(line, sizeof(line), "t=%" PRId64 " host=%u %s frac=%.3f\n",
                     event.at, event.host, fault_kind_name(event.kind),
                     event.fraction);
+    } else if (event.kind == FaultKind::path_partition ||
+               event.kind == FaultKind::path_heal) {
+      std::snprintf(line, sizeof(line), "t=%" PRId64 " host=%u %s peer=%u\n",
+                    event.at, event.host, fault_kind_name(event.kind),
+                    event.peer);
     } else {
       std::snprintf(line, sizeof(line), "t=%" PRId64 " host=%u %s\n", event.at,
                     event.host, fault_kind_name(event.kind));

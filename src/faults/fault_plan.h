@@ -27,6 +27,8 @@ enum class FaultKind {
   host_crash,     ///< unrecoverable: link down + every container stopped
   agent_pause,    ///< agent process frozen (records buffer, no heartbeats)
   agent_resume,
+  path_partition, ///< inter-host fabric path severed (both NICs healthy)
+  path_heal,
 };
 
 [[nodiscard]] constexpr const char* fault_kind_name(FaultKind kind) noexcept {
@@ -42,6 +44,8 @@ enum class FaultKind {
     case FaultKind::host_crash: return "host_crash";
     case FaultKind::agent_pause: return "agent_pause";
     case FaultKind::agent_resume: return "agent_resume";
+    case FaultKind::path_partition: return "path_partition";
+    case FaultKind::path_heal: return "path_heal";
   }
   return "?";
 }
@@ -51,6 +55,7 @@ struct FaultEvent {
   FaultKind kind = FaultKind::nic_link_down;
   fabric::HostId host = 0;
   double fraction = 1.0;  ///< nic_degrade only: remaining line-rate fraction
+  fabric::HostId peer = 0;  ///< path_partition/path_heal only: the far host
 };
 
 class FaultPlan {
@@ -65,6 +70,10 @@ class FaultPlan {
                      SimDuration slow_for);
   FaultPlan& host_crash(fabric::HostId host, SimTime at);
   FaultPlan& agent_pause(fabric::HostId host, SimTime at, SimDuration pause_for);
+  /// Severs the fabric path between `a` and `b` (both NICs stay healthy),
+  /// healing after `down_for`.
+  FaultPlan& path_partition(fabric::HostId a, fabric::HostId b, SimTime at,
+                            SimDuration down_for);
 
   /// Events sorted by time (ties keep insertion order, for determinism).
   [[nodiscard]] std::vector<FaultEvent> events() const;

@@ -1,0 +1,179 @@
+// Connection-preserving live container migration (paper §6 "container
+// migration": the orchestrator knows where containers are going, so the
+// network layer can move *with* them instead of reacting after the fact).
+//
+// The MigrationCoordinator turns a container move into a planned protocol:
+//
+//   1. quiesce  — every conduit touching the container pauses at a message
+//                 boundary on BOTH ends (sends queue, credits stop, receive
+//                 and ack paths stay live) and the migrating side drains its
+//                 retained window under a sim-clock deadline. Deadline
+//                 expiry is not fatal: the undrained tail simply travels in
+//                 the image and replays at the destination (peers dedup),
+//                 the same lossless path reactive failover takes.
+//   2. capture  — the migrating side serializes each conduit's portable
+//                 state (sequence counters, ack bookkeeping, retained
+//                 window, queued sends, RC-QP transport identity) into a
+//                 MigrationImage; peer endpoints detach (generation-guarded
+//                 blackout spans open) and the stream adapter cancels any
+//                 half-built upgrade QP.
+//   3. transfer — the cluster orchestrator moves the container with a
+//                 downtime proportional to the image size (the planned
+//                 stop-and-copy is tiny compared to the reactive default).
+//   4. resume   — at the destination the records restore, both ends
+//                 unpause, and the initiator side rebinds through the
+//                 ordinary generation-guarded path: retained windows
+//                 replay, receivers dedup — zero loss, in order,
+//                 byte-exact, bounded blackout.
+//
+// The coordinator also *initiates* migrations proactively: off NICs whose
+// rate_fraction degrades below a threshold, and off severed fabric paths
+// (path_partition faults) — where no transport shift can help, but
+// co-locating the endpoints (shm) can.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/freeflow.h"
+
+namespace freeflow::migration {
+
+/// The portable network state of one container: one flat record per conduit
+/// (see Conduit::capture_for_migration) under a magic/version header. The
+/// encoded form is what the orchestrator "ships with the container"; its
+/// byte size sets the transfer downtime.
+struct MigrationImage {
+  static constexpr std::uint32_t k_magic = 0x46464D47;  // "FFMG"
+  static constexpr std::uint16_t k_version = 1;
+
+  orch::ContainerId container = 0;
+  fabric::HostId src_host = 0;
+  fabric::HostId dst_host = 0;
+  std::vector<Buffer> conduit_records;
+
+  [[nodiscard]] Buffer encode() const;
+  [[nodiscard]] static Result<MigrationImage> decode(ByteSpan bytes);
+  /// Encoded size without materializing the encoding.
+  [[nodiscard]] std::size_t byte_size() const noexcept;
+};
+
+struct MigrationConfig {
+  /// 0 = use the cost model's migration_quiesce_deadline_ns.
+  SimDuration quiesce_deadline_ns = 0;
+  /// Proactive trigger: migrate containers off hosts whose NIC rate_fraction
+  /// falls below this (link still up — a dead link is failover's business).
+  double degrade_threshold = 0.5;
+  bool auto_migrate_on_degrade = true;
+  /// Proactive trigger: on a path partition, co-locate affected pairs.
+  bool auto_migrate_on_partition = true;
+};
+
+struct MigrationReport {
+  orch::ContainerId container = 0;
+  fabric::HostId src_host = 0;
+  fabric::HostId dst_host = 0;
+  std::size_t conduits_moved = 0;
+  std::size_t image_bytes = 0;
+  /// False when any conduit hit the quiesce deadline with retained messages
+  /// (still lossless — the tail replayed at the destination).
+  bool drained = true;
+  /// Pause of the first conduit -> every conduit live again (app-visible).
+  SimDuration blackout_ns = 0;
+  core::MigrationReason reason = core::MigrationReason::planned;
+};
+
+class MigrationCoordinator {
+ public:
+  using DoneFn = std::function<void(Result<MigrationReport>)>;
+
+  /// Construct AFTER FreeFlow: the coordinator's moved-subscription must run
+  /// behind FreeFlow's (which skips containers under planned migration).
+  /// Proactive triggers subscribe immediately and stay armed for the
+  /// coordinator's lifetime.
+  explicit MigrationCoordinator(core::FreeFlow& ff, MigrationConfig config = {});
+  ~MigrationCoordinator();
+
+  MigrationCoordinator(const MigrationCoordinator&) = delete;
+  MigrationCoordinator& operator=(const MigrationCoordinator&) = delete;
+
+  /// Starts a planned migration of `id` to `dst`. `done` fires once, after
+  /// every affected conduit is live again (or rejected up front: unknown /
+  /// not-running container, bad destination, move already in flight, or a
+  /// touching conduit already owned by another migration).
+  void migrate(orch::ContainerId id, fabric::HostId dst, DoneFn done,
+               core::MigrationReason reason = core::MigrationReason::planned);
+
+  [[nodiscard]] bool in_flight(orch::ContainerId id) const {
+    return moves_.contains(id);
+  }
+  [[nodiscard]] std::uint64_t migrations_completed() const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] std::uint64_t quiesce_timeouts() const noexcept {
+    return quiesce_timeouts_;
+  }
+  [[nodiscard]] const MigrationConfig& config() const noexcept { return config_; }
+
+ private:
+  /// One affected connection: the migrating-side endpoint, its captured
+  /// record, and (when the peer is library-attached) the remote endpoint.
+  struct Endpoint {
+    core::ConduitPtr local;            // endpoint owned by the moving container
+    core::ConduitPtr peer;             // remote endpoint (may be null)
+    core::ContainerNetPtr peer_net;    // keeps the peer's library alive
+    Buffer record;                     // capture_for_migration() output
+    SimDuration blackout_before = 0;   // local->blackout_ns() at capture
+  };
+  struct Move {
+    fabric::HostId src = 0;
+    fabric::HostId dst = 0;
+    core::MigrationReason reason = core::MigrationReason::planned;
+    core::ContainerNetPtr net;         // null: container has no library attached
+    std::vector<Endpoint> endpoints;
+    std::size_t image_bytes = 0;
+    bool drained = true;
+    SimTime paused_at = 0;
+    DoneFn done;
+    int resume_polls = 0;
+    sim::EventHandle resume_timer;
+  };
+
+  void start_capture(orch::ContainerId id);
+  void resume(orch::ContainerId id);
+  void poll_resumed(orch::ContainerId id);
+  void finish(orch::ContainerId id);
+
+  void handle_health(fabric::HostId host);
+  void handle_path(fabric::HostId a, fabric::HostId b, bool up);
+  /// Healthiest candidate host (link up, rate above threshold), fewest
+  /// running containers, excluding `avoid`; nullopt when none qualifies.
+  [[nodiscard]] std::optional<fabric::HostId> pick_destination(fabric::HostId avoid) const;
+
+  [[nodiscard]] sim::EventLoop& loop() { return ff_.loop(); }
+  [[nodiscard]] telemetry::Telemetry& telemetry();
+  [[nodiscard]] const sim::CostModel& model();
+
+  core::FreeFlow& ff_;
+  MigrationConfig config_;
+  std::unordered_map<orch::ContainerId, Move> moves_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t quiesce_timeouts_ = 0;
+
+  telemetry::Counter* ctr_planned_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_degrade_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_partition_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_image_bytes_ = telemetry::Counter::discard();
+  telemetry::Counter* ctr_quiesce_timeouts_ = telemetry::Counter::discard();
+  Histogram* hist_blackout_ = telemetry::discard_histogram();
+
+  /// Orchestrator subscriptions can outlive this coordinator.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace freeflow::migration

@@ -58,6 +58,7 @@ Status ClusterOrchestrator::migrate(ContainerId id, fabric::HostId dst,
 
   overlay_.attach_host(dst);
   c->set_state(ContainerState::migrating);
+  for (auto& fn : migration_started_) fn(*c);
   cluster_.loop().schedule(downtime, [this, c, dst]() {
     const Status moved = overlay_.move_container(c->ip(), dst, &c->account());
     FF_CHECK(moved.is_ok());

@@ -50,6 +50,10 @@ class ClusterOrchestrator {
   void on_started(EventFn fn) { started_.push_back(std::move(fn)); }
   void on_moved(EventFn fn) { moved_.push_back(std::move(fn)); }
   void on_stopped(EventFn fn) { stopped_.push_back(std::move(fn)); }
+  /// Fired when a migration begins (state just became `migrating`), before
+  /// any downtime elapses — the hook that lets the network layer freeze
+  /// conduits so no bytes die in a channel during the move.
+  void on_migration_started(EventFn fn) { migration_started_.push_back(std::move(fn)); }
 
   [[nodiscard]] fabric::Cluster& cluster() noexcept { return cluster_; }
   [[nodiscard]] overlay::OverlayNetwork& overlay() noexcept { return overlay_; }
@@ -65,6 +69,7 @@ class ClusterOrchestrator {
   std::vector<EventFn> started_;
   std::vector<EventFn> moved_;
   std::vector<EventFn> stopped_;
+  std::vector<EventFn> migration_started_;
 };
 
 }  // namespace freeflow::orch

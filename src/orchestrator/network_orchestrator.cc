@@ -9,6 +9,10 @@ std::uint64_t trust_key(TenantId a, TenantId b) noexcept {
   if (a > b) std::swap(a, b);
   return (std::uint64_t{a} << 32) | b;
 }
+std::uint64_t path_key(fabric::HostId a, fabric::HostId b) noexcept {
+  if (a > b) std::swap(a, b);
+  return (std::uint64_t{a} << 32) | b;
+}
 }  // namespace
 
 std::string_view transport_name(Transport t) noexcept {
@@ -190,6 +194,28 @@ void NetworkOrchestrator::report_lane_failure(fabric::HostId reporter,
   // Both ends re-evaluate; decide() folds whatever telemetry already knows.
   notify_health(reporter);
   if (peer != reporter) notify_health(peer);
+}
+
+void NetworkOrchestrator::update_path_health(fabric::HostId a, fabric::HostId b,
+                                             bool up) {
+  const std::uint64_t key = path_key(a, b);
+  const bool changed = up ? downed_paths_.erase(key) > 0
+                          : downed_paths_.insert(key).second;
+  if (!changed) return;
+  cluster_.cluster().telemetry().metrics().counter("orchestrator/path_updates").inc();
+  FF_LOG(info, "orch") << "fabric path host " << a << " <-> host " << b
+                       << (up ? " healed" : " partitioned");
+  // Snapshot-by-size like notify_health: a subscriber may subscribe more.
+  const std::size_t n = path_subscribers_.size();
+  for (std::size_t i = 0; i < n; ++i) path_subscribers_[i](a, b, up);
+}
+
+bool NetworkOrchestrator::path_up(fabric::HostId a, fabric::HostId b) const {
+  return !downed_paths_.contains(path_key(a, b));
+}
+
+void NetworkOrchestrator::subscribe_path_partitions(PathFn fn) {
+  path_subscribers_.push_back(std::move(fn));
 }
 
 void NetworkOrchestrator::notify_health(fabric::HostId host) {

@@ -46,6 +46,8 @@ class NetworkOrchestrator {
       fabric::HostId, const fabric::NicHealth& prev, const fabric::NicHealth& now)>;
   using LaneFailureFn =
       std::function<void(fabric::HostId reporter, fabric::HostId peer, Transport)>;
+  /// Inter-host path state change: (a, b, up). Both NICs may be healthy.
+  using PathFn = std::function<void(fabric::HostId, fabric::HostId, bool)>;
 
   explicit NetworkOrchestrator(ClusterOrchestrator& cluster_orch);
 
@@ -116,6 +118,17 @@ class NetworkOrchestrator {
     return lane_failure_reports_;
   }
 
+  // ---- inter-host path health (path_partition faults) -------------------
+  /// Telemetry ingest for a fabric path partition between two hosts whose
+  /// NICs are individually healthy. Deliberately NOT folded into decide():
+  /// no inter-host transport survives a severed fabric path, so shifting
+  /// the transport cannot heal the pair — migrating one endpoint can, which
+  /// is why this feeds the migration coordinator instead of re-decision.
+  void update_path_health(fabric::HostId a, fabric::HostId b, bool up);
+  [[nodiscard]] bool path_up(fabric::HostId a, fabric::HostId b) const;
+  /// Fired on every update_path_health transition (down and heal).
+  void subscribe_path_partitions(PathFn fn);
+
   [[nodiscard]] ClusterOrchestrator& cluster_orch() noexcept { return cluster_; }
 
   /// Effective physical machine of a host: itself, or the machine under a
@@ -136,6 +149,9 @@ class NetworkOrchestrator {
   std::vector<LaneFailureFn> lane_failure_subscribers_;
   /// Last reported NIC health per host; absent means healthy.
   std::unordered_map<fabric::HostId, fabric::NicHealth> health_;
+  std::vector<PathFn> path_subscribers_;
+  /// Severed inter-host paths, keyed min(a,b)<<32 | max(a,b).
+  std::unordered_set<std::uint64_t> downed_paths_;
   std::uint64_t lane_failure_reports_ = 0;
 };
 

@@ -111,6 +111,14 @@ class ShardedControlPlane {
   /// Removes `cache` from every interest set (cache teardown).
   void detach(DecisionCacheClient* cache);
 
+  /// Planned migration is starting for `container`: bump its epoch and push
+  /// a full-mask flush NOW — before the first conduit pauses — so no
+  /// selector serves a decision pinned to the source host mid-move. The
+  /// move-completion subscription bumps again when the new location lands.
+  void note_migration_started(ContainerId container) {
+    bump_and_flush(container, k_drop_all);
+  }
+
   // ---- introspection ----------------------------------------------------
   [[nodiscard]] std::uint64_t shard_rpcs() const noexcept { return rpcs_; }
   [[nodiscard]] std::uint64_t decisions_served() const noexcept { return served_; }

@@ -27,11 +27,13 @@ void Router::announce(const tcp::Subnet& subnet) {
 }
 
 void Router::withdraw(const tcp::Subnet& subnet) {
-  table_.remove_route(subnet);
+  table_.remove_route(subnet, host_.id());
   for (Router* peer : net_.routers()) {
     if (peer == this) continue;
     fabric::send_control(host_, peer->host().id(), k_announce_wire_bytes,
-                         [peer, subnet]() { peer->unlearn(subnet); });
+                         [peer, subnet, origin = host_.id()]() {
+                           peer->unlearn(subnet, origin);
+                         });
   }
 }
 

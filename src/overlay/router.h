@@ -46,7 +46,12 @@ class Router {
   void learn(const tcp::Subnet& subnet, fabric::HostId origin) {
     table_.add_route(subnet, origin);
   }
-  void unlearn(const tcp::Subnet& subnet) { table_.remove_route(subnet); }
+  /// Called on withdrawal arrival from a peer. Origin-qualified: if a newer
+  /// announcement (e.g. the destination of a live migration) already moved
+  /// the route, the stale withdrawal is a no-op instead of clobbering it.
+  void unlearn(const tcp::Subnet& subnet, fabric::HostId origin) {
+    table_.remove_route(subnet, origin);
+  }
 
   [[nodiscard]] std::size_t route_count() const noexcept { return table_.size(); }
 

@@ -143,6 +143,11 @@ void QueuePair::stream_chunk(std::uint64_t msg_id, std::uint32_t offset) {
 }
 
 void QueuePair::rx_data_chunk(const std::shared_ptr<RdmaChunk>& chunk) {
+  // A chunk can race QP setup (the CM hands out our number before connect()
+  // runs, and numbers recycle across upgrade churn) and land on a QP that
+  // was never connected. It cannot be acked — there is no remote to address
+  // — and real RC silently discards traffic for a QP outside RTR/RTS.
+  if (state_ == QpState::reset) return;
   switch (chunk->opcode) {
     case Opcode::send: {
       auto& prog = rx_progress_[chunk->msg_id];

@@ -117,6 +117,20 @@ struct CostModel {
   /// bye_ack before giving up (CloseReason::drain_timeout).
   SimDuration close_drain_timeout_ns = 5 * k_millisecond;
 
+  // ---- Planned live migration (src/migration) --------------------------
+  /// Quiesce budget: how long the coordinator waits for each paused
+  /// conduit's retained window to drain before capturing it anyway (the
+  /// undrained tail replays at the destination, peers dedup — lossless).
+  SimDuration migration_quiesce_deadline_ns = 2 * k_millisecond;
+  /// Destination-side activation: restore + container unfreeze fixed cost.
+  /// Models a pre-copied migration where only the final connection image
+  /// bounds the blackout (the memory pre-copy overlaps with execution);
+  /// contrast the 50 ms stop-and-copy default of the *reactive*
+  /// ClusterOrchestrator::migrate path.
+  SimDuration migration_resume_fixed_ns = 300 * k_microsecond;
+  /// Transfer cost per MigrationImage byte (~40 GB/s state push).
+  double migration_image_byte_ns = 0.025;
+
   [[nodiscard]] double nic_line_bytes_per_sec() const noexcept {
     return nic_line_gbps * 1e9 / 8.0;
   }

@@ -269,7 +269,26 @@ void StreamNet::adopt(const core::ConduitPtr& conduit) {
   hooks.teardown = [self, token = conduit->token()]() {
     if (auto net = self.lock()) net->drop_stream_state(token);
   };
+  hooks.quiesce = [self, token = conduit->token()]() {
+    if (auto net = self.lock()) net->quiesce_stream(token);
+  };
   net_->adopt_stream_conduit(conduit, std::move(hooks));
+}
+
+void StreamNet::quiesce_stream(std::uint64_t token) {
+  // Planned migration is about to capture this stream's conduit: any
+  // half-built upgrade QP or in-flight fallback dial belongs to the
+  // pre-move placement and must not attach mid-capture. The post-restore
+  // refit re-dials (and re-upgrades) against the new placement.
+  dialing_.erase(token);
+  if (auto it = pending_upgrade_.find(token); it != pending_upgrade_.end()) {
+    it->second->close();
+    pending_upgrade_.erase(it);
+  }
+  if (auto it = pending_rc_.find(token); it != pending_rc_.end()) {
+    it->second->close();
+    pending_rc_.erase(it);
+  }
 }
 
 void StreamNet::drop_stream_state(std::uint64_t token) {
@@ -290,6 +309,9 @@ void StreamNet::drop_stream_state(std::uint64_t token) {
 
 void StreamNet::refit(const core::ConduitPtr& conduit) {
   if (conduit->closed() || conduit->closing()) return;
+  // Under a planned migration the coordinator owns the conduit: no dial or
+  // upgrade may attach a pre-move channel mid-capture.
+  if (conduit->paused() || conduit->migrating()) return;
   // Never attached yet: the initial dial is still in flight — a rebind-first
   // fallback dial would confuse the peer's routing tap. Let it land.
   if (!conduit->live() && conduit->rebinds() == 0) return;
@@ -300,6 +322,7 @@ void StreamNet::refit(const core::ConduitPtr& conduit) {
     auto net = self.lock();
     if (net == nullptr) return;
     if (conduit->closed() || conduit->closing()) return;
+    if (conduit->paused() || conduit->migrating()) return;
     // The adapter rides exactly two transports: a per-stream RC QP when the
     // selector grants rdma, the overlay-TCP fallback for everything else
     // (including tcp_overlay itself — no-trust pairs simply never upgrade).
@@ -341,7 +364,7 @@ void StreamNet::dial_fallback(const core::ConduitPtr& conduit, bool upgrade_afte
           return;
         }
         net->dialing_.erase(token);
-        if (conduit->closed()) {
+        if (conduit->closed() || conduit->paused() || conduit->migrating()) {
           if (r.is_ok()) (*r)->close();
           return;
         }

@@ -77,6 +77,9 @@ class StreamNet : public std::enable_shared_from_this<StreamNet> {
   void start_upgrade(const core::ConduitPtr& conduit);
   void handle_control(const core::ConduitPtr& conduit, const core::WireHeader& h);
   void handle_rc_first_message(std::uint64_t token, const Buffer& message);
+  /// StreamHooks.quiesce: cancel in-flight upgrade/dial state ahead of a
+  /// planned-migration capture (the post-restore refit starts clean).
+  void quiesce_stream(std::uint64_t token);
   void drop_stream_state(std::uint64_t token);
 
   [[nodiscard]] core::FreeFlow& ff() noexcept { return net_->freeflow(); }

@@ -32,6 +32,16 @@ class RoutingTable {
     });
   }
 
+  /// Removes the route only while it still points at `hop`: an in-flight
+  /// withdrawal must not clobber a newer announcement that already replaced
+  /// the route (BGP implicit-withdraw semantics).
+  void remove_route(const Subnet& subnet, const NextHop& hop) {
+    std::erase_if(entries_, [&](const Entry& e) {
+      return e.subnet.base == subnet.base &&
+             e.subnet.prefix_len == subnet.prefix_len && e.hop == hop;
+    });
+  }
+
   /// Longest-prefix match; nullopt when no route covers `addr`.
   [[nodiscard]] std::optional<NextHop> lookup(Ipv4Addr addr) const {
     const Entry* best = nullptr;
