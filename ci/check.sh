@@ -127,6 +127,11 @@ stage_chaos_smoke() {
     --trace build/TRACE_live_migration.json
   python3 ci/validate_trace.py build/TRACE_live_migration.json \
     --expect "B:migration,i:quiesce,i:capture,i:transfer,i:resume,E:migration"
+  # Tenant-isolation matrix under ASan+LSan: WDRR fairness, cross-tenant shm
+  # denial, and the overlapping degrade/restore and trust-revocation
+  # regressions all tear down mid-flight state worth leak-checking.
+  ./build-asan/tests/test_fabric --gtest_brief=1 --gtest_filter='*Tenant*:*Wdrr*'
+  ./build-asan/tests/test_shm --gtest_brief=1 --gtest_filter='*Tenant*:*Accounting*'
 }
 
 stage_examples_smoke() {
@@ -146,6 +151,7 @@ stage_bench_smoke() {
   # trace-validate stage can assert the splice timeline without re-running.
   ./build/bench/bench_socket_stream --json build/BENCH_socket_stream.json \
     --trace build/TRACE_socket_stream.json
+  ./build/bench/bench_tenant_gateway --json build/BENCH_tenant_gateway.json
 }
 
 stage_trace_validate() {
@@ -177,6 +183,8 @@ stage_perf_gate() {
     bench/baselines/BENCH_socket_stream.json
   python3 ci/perf_gate.py build/BENCH_live_migration.json \
     bench/baselines/BENCH_live_migration.json
+  python3 ci/perf_gate.py build/BENCH_tenant_gateway.json \
+    bench/baselines/BENCH_tenant_gateway.json
 }
 
 # ------------------------------------------------------------------ drive

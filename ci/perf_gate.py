@@ -73,6 +73,22 @@ bench_live_migration:
      ping-pong may not be quietly shrunk, and migrating the server onto its
      peer's host must land the resumed conduits on shm.
   5. INFO  p50, coordinator-side blackout, image bytes, quiesce timeouts.
+
+bench_tenant_gateway:
+  1. HARD  ``p99_isolation_ratio`` <= ISOLATION_P99_CEILING (3.0x): the
+     latency tenant's p99 while the bulk tenant saturates the shared NICs,
+     over its own uncontended p99 in the *same* run — self-relative and on
+     the sim clock, so box noise cancels out. This is the WDRR scheduler's
+     acceptance criterion.
+  2. HARD  ``aggregate_goodput_gbps`` >= TOLERANCE (40%) of the committed
+     baseline: per-tenant fairness must not be bought with throughput.
+  3. HARD  ``cross_tenant_attaches`` == 0 and ``denied_attaches`` >= 1: the
+     cross-tenant shm probe must be denied and audited; a foreign attach
+     that succeeds is an isolation hole, never a perf miss.
+  4. HARD  ``latency_flows``, ``bulk_flows``, ``bulk_resp_kb`` >= baseline:
+     the contention may not be quietly shrunk to flatter the ratio.
+  5. INFO  p99s, goodput split, scale-ups, final pool size, churn counts,
+     faults applied, completions.
 """
 
 import json
@@ -83,6 +99,7 @@ BASELINE_TOLERANCE = 0.40
 STORM_P99_TOLERANCE = 0.25
 DECISION_SPEEDUP_FLOOR = 5.0
 STREAM_SPEEDUP_FLOOR = 2.0
+ISOLATION_P99_CEILING = 3.0
 
 
 def load(path):
@@ -347,12 +364,83 @@ def gate_live_migration(fresh, base):
     return failures
 
 
+def gate_tenant_gateway(fresh, base):
+    failures = []
+
+    ratio = fresh.get("p99_isolation_ratio", 0.0)
+    print(
+        f"perf-gate: latency-tenant p99 contended/uncontended: {ratio:.2f}x"
+        f" (hard ceiling {ISOLATION_P99_CEILING}x)"
+    )
+    if not 0 < ratio <= ISOLATION_P99_CEILING:
+        failures.append(
+            f"p99_isolation_ratio {ratio:.2f}x breaches the "
+            f"{ISOLATION_P99_CEILING}x ceiling — WDRR is not isolating the "
+            "latency tenant from the bulk tenant"
+        )
+
+    agg = fresh.get("aggregate_goodput_gbps", 0.0)
+    base_agg = base.get("aggregate_goodput_gbps", 0.0)
+    if base_agg > 0:
+        frac = agg / base_agg
+        print(
+            f"perf-gate: aggregate goodput {agg:.3g} Gbps vs baseline"
+            f" {base_agg:.3g} ({frac:.0%}; hard floor {BASELINE_TOLERANCE:.0%})"
+        )
+        if frac < BASELINE_TOLERANCE:
+            failures.append(
+                f"aggregate_goodput_gbps at {frac:.0%} of baseline "
+                f"(< {BASELINE_TOLERANCE:.0%}) — fairness bought with "
+                "throughput, sim-clock metric so this is not box noise"
+            )
+    else:
+        failures.append("baseline has no aggregate_goodput_gbps metric")
+
+    stolen = fresh.get("cross_tenant_attaches", -1)
+    print(f"perf-gate: cross-tenant shm attaches: {stolen:.0f} (hard 0)")
+    if stolen != 0:
+        failures.append(
+            f"cross_tenant_attaches = {stolen:.0f} — a foreign tenant "
+            "attached another tenant's shm region, hard zero"
+        )
+
+    denied = fresh.get("denied_attaches", 0)
+    print(f"perf-gate: denied shm attach probes: {denied:.0f} (hard >=1)")
+    if denied < 1:
+        failures.append(
+            "denied_attaches == 0 — the cross-tenant probe was not "
+            "exercised (or not audited)"
+        )
+
+    for key in ("latency_flows", "bulk_flows", "bulk_resp_kb"):
+        v = fresh.get(key, 0)
+        b = base.get(key, 0)
+        print(f"perf-gate: {key} {v:.0f} (baseline {b:.0f})")
+        if v < b:
+            failures.append(
+                f"{key} shrank to {v:.0f} (baseline {b:.0f}) — contention "
+                "may not be quietly reduced to flatter the isolation ratio"
+            )
+
+    for key in ("latency_p99_uncontended_us", "latency_p99_contended_us",
+                "latency_p50_contended_us", "latency_goodput_gbps",
+                "bulk_goodput_gbps", "latency_completed", "bulk_completed",
+                "scale_ups", "bulk_pool_final", "churn_launched",
+                "churn_retired", "faults_applied"):
+        if key in fresh:
+            b = f" (baseline {base[key]:.6g})" if key in base else ""
+            print(f"perf-gate: info {key} = {fresh[key]:.6g}{b}")
+
+    return failures
+
+
 GATES = {
     "sim_core": gate_sim_core,
     "connect_storm": gate_connect_storm,
     "decision_storm": gate_decision_storm,
     "socket_stream": gate_socket_stream,
     "live_migration": gate_live_migration,
+    "tenant_gateway": gate_tenant_gateway,
 }
 
 

@@ -708,6 +708,10 @@ void Agent::relay_outbound(orch::ContainerId src, orch::ContainerId dst,
     return;
   }
   Trunk& trunk = *it->second;
+  // Records inherit the source container's tenant so the shared trunk's
+  // packets land in the right per-tenant NIC queue.
+  const auto owner = fabric_.orchestrator().cluster_orch().container(src);
+  const std::uint32_t tenant = owner != nullptr ? owner->tenant() : 0;
   const std::size_t frag = fabric_.config().fragment_bytes;
   const auto total = static_cast<std::uint32_t>(message.size());
   const std::uint64_t seq = next_msg_seq_++;
@@ -721,7 +725,7 @@ void Agent::relay_outbound(orch::ContainerId src, orch::ContainerId dst,
     header.msg_seq = seq;
     header.total_len = total;
     header.frag_offset = static_cast<std::uint32_t>(offset);
-    trunk.send(make_record(header, ByteSpan{message.data() + offset, n}));
+    trunk.send(make_record(header, ByteSpan{message.data() + offset, n}), tenant);
     ++records_relayed_;
     offset += n;
   } while (offset < message.size());

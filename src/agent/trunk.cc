@@ -42,9 +42,9 @@ void RdmaTrunk::repost_recv(std::uint32_t slot) {
   FF_CHECK(posted.is_ok());
 }
 
-void RdmaTrunk::send(Buffer record) {
+void RdmaTrunk::send(Buffer record, std::uint32_t tenant) {
   FF_CHECK(record.size() <= slot_bytes_);
-  queue_.push_back(std::move(record));
+  queue_.push_back(QueuedRecord{std::move(record), tenant});
   pump();
 }
 
@@ -55,7 +55,8 @@ void RdmaTrunk::pump() {
   while (!queue_.empty() && !free_slots_.empty()) {
     const std::uint32_t slot = free_slots_.back();
     free_slots_.pop_back();
-    Buffer record = std::move(queue_.front());
+    Buffer record = std::move(queue_.front().record);
+    const std::uint32_t tenant = queue_.front().tenant;
     queue_.pop_front();
 
     auto dst = send_mr_->slice(slot * slot_bytes_, record.size());
@@ -73,6 +74,7 @@ void RdmaTrunk::pump() {
     wr.opcode = rdma::Opcode::send;
     wr.local = {send_mr_, slot * slot_bytes_, record.size()};
     wr.signaled = true;
+    wr.tenant = tenant;
     const Status posted = qp_->post_send(wr, &account_);
     FF_CHECK(posted.is_ok());
     ++sent_;
@@ -126,9 +128,9 @@ void RdmaTrunk::poll_cqs() {
 DpdkTrunk::DpdkTrunk(dpdk::DpdkPort& port, fabric::HostId peer)
     : port_(port), peer_(peer) {}
 
-void DpdkTrunk::send(Buffer record) {
+void DpdkTrunk::send(Buffer record, std::uint32_t tenant) {
   ++sent_;
-  const Status sent = port_.send(peer_, std::move(record));
+  const Status sent = port_.send(peer_, std::move(record), tenant);
   if (!sent.is_ok()) {
     FF_LOG(warn, "agent") << "dpdk trunk send failed: " << sent;
   }
@@ -143,7 +145,12 @@ void TcpTrunk::attach(tcp::TcpConnection::Ptr conn) {
   pump();
 }
 
-void TcpTrunk::send(Buffer record) {
+void TcpTrunk::send(Buffer record, std::uint32_t tenant) {
+  // A kernel TCP byte stream interleaves every container's records into one
+  // connection: frames are not attributable to a tenant at the NIC, so the
+  // class stays 0 (documented limitation; the kernel-bypass paths classify
+  // precisely).
+  (void)tenant;
   queue_.push_back(std::move(record));
   pump();
 }

@@ -29,8 +29,11 @@ class Trunk {
   virtual ~Trunk() = default;
 
   /// Queues one relay record toward the peer agent. Trunks buffer
-  /// internally; delivery order is preserved.
-  virtual void send(Buffer record) = 0;
+  /// internally; delivery order is preserved. `tenant` classifies the
+  /// record for the NIC's per-tenant scheduler on kernel-bypass paths
+  /// (0 = infrastructure class; the TCP trunk's byte stream interleaves
+  /// records and stays unclassified).
+  virtual void send(Buffer record, std::uint32_t tenant = 0) = 0;
 
   /// True while the trunk's internal queue is deep: senders should pause
   /// (this is what backpressures containers to the NIC's actual rate).
@@ -66,13 +69,18 @@ class RdmaTrunk final : public Trunk {
   [[nodiscard]] std::shared_ptr<rdma::QueuePair> qp() noexcept { return qp_; }
   void start(std::shared_ptr<rdma::QueuePair> remote_unused = nullptr);
 
-  void send(Buffer record) override;
+  void send(Buffer record, std::uint32_t tenant = 0) override;
   [[nodiscard]] bool congested() const noexcept override {
     return queue_.size() > k_congestion_records;
   }
   [[nodiscard]] std::uint64_t records_sent() const noexcept override { return sent_; }
 
  private:
+  struct QueuedRecord {
+    Buffer record;
+    std::uint32_t tenant = 0;
+  };
+
   void pump();
   void schedule_poll();
   void poll_cqs();
@@ -91,7 +99,7 @@ class RdmaTrunk final : public Trunk {
   std::shared_ptr<rdma::QueuePair> qp_;
 
   std::vector<std::uint32_t> free_slots_;
-  std::deque<Buffer> queue_;
+  std::deque<QueuedRecord> queue_;
   bool poll_scheduled_ = false;
   std::uint64_t sent_ = 0;
 };
@@ -101,7 +109,7 @@ class DpdkTrunk final : public Trunk {
  public:
   DpdkTrunk(dpdk::DpdkPort& port, fabric::HostId peer);
 
-  void send(Buffer record) override;
+  void send(Buffer record, std::uint32_t tenant = 0) override;
   [[nodiscard]] bool congested() const noexcept override {
     return port_.tx_queue_depth() > k_congestion_records;
   }
@@ -127,7 +135,7 @@ class TcpTrunk final : public Trunk {
   /// Attaches the established connection (either side).
   void attach(tcp::TcpConnection::Ptr conn);
 
-  void send(Buffer record) override;
+  void send(Buffer record, std::uint32_t tenant = 0) override;
   [[nodiscard]] bool congested() const noexcept override {
     return queue_.size() > k_congestion_records;
   }

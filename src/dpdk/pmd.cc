@@ -32,9 +32,9 @@ double DpdkPort::spin_core_busy_ns() const noexcept {
   return total;
 }
 
-Status DpdkPort::send(fabric::HostId dst, Buffer message) {
+Status DpdkPort::send(fabric::HostId dst, Buffer message, std::uint32_t tenant) {
   if (!running_) return failed_precondition("PMD not running");
-  tx_queue_.emplace_back(dst, std::move(message));
+  tx_queue_.push_back(TxMessage{dst, std::move(message), tenant});
   pump_tx();
   return ok_status();
 }
@@ -42,11 +42,12 @@ Status DpdkPort::send(fabric::HostId dst, Buffer message) {
 void DpdkPort::pump_tx() {
   if (tx_active_ || tx_queue_.empty()) return;
   tx_active_ = true;
-  auto [dst, message] = std::move(tx_queue_.front());
+  TxMessage next = std::move(tx_queue_.front());
   tx_queue_.pop_front();
 
   const std::uint64_t msg_id = next_msg_id_++;
-  stream_frames(std::make_shared<Buffer>(std::move(message)), msg_id, dst, 0);
+  stream_frames(std::make_shared<Buffer>(std::move(next.data)), msg_id, next.dst,
+                next.tenant, 0);
 }
 
 // One burst frame per call; the PMD-core completion re-invokes for the next
@@ -54,7 +55,7 @@ void DpdkPort::pump_tx() {
 // buffer — no callback ever owns itself (teardown protocol).
 void DpdkPort::stream_frames(const std::shared_ptr<Buffer>& msg,
                              std::uint64_t msg_id, fabric::HostId dst,
-                             std::uint32_t offset) {
+                             std::uint32_t tenant, std::uint32_t offset) {
   const auto total = static_cast<std::uint32_t>(msg->size());
   const std::uint32_t n = total == 0 ? 0 : std::min(k_frame_payload, total - offset);
   auto frame = acquire_frame();
@@ -62,6 +63,7 @@ void DpdkPort::stream_frames(const std::shared_ptr<Buffer>& msg,
   frame->total_len = total;
   frame->offset = offset;
   frame->last = offset + n >= total;
+  frame->tenant = tenant;
   if (n > 0) frame->payload = Buffer(msg->data() + offset, n);
 
   const auto& m = host_.cost_model();
@@ -70,13 +72,15 @@ void DpdkPort::stream_frames(const std::shared_ptr<Buffer>& msg,
     packet->dst_host = dst;
     packet->wire_bytes = static_cast<std::uint32_t>(frame->payload.size()) + k_frame_header;
     packet->kind = fabric::PacketKind::dpdk_frame;
+    packet->tenant = frame->tenant;
     const bool more = !frame->last;
     const std::uint64_t id = frame->msg_id;
+    const std::uint32_t cls = frame->tenant;
     const auto next = frame->offset + static_cast<std::uint32_t>(frame->payload.size());
     packet->body = frame;
     host_.nic().send(std::move(packet));
     if (more) {
-      stream_frames(msg, id, dst, next);
+      stream_frames(msg, id, dst, cls, next);
     } else {
       tx_active_ = false;
       if (tx_queue_.size() < 32 && on_tx_space_) on_tx_space_();

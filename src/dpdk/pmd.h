@@ -27,6 +27,7 @@ struct DpdkFrame final : fabric::PacketBody {
   std::uint32_t total_len = 0;
   std::uint32_t offset = 0;
   bool last = false;
+  std::uint32_t tenant = 0;  ///< NIC scheduling class of the owning flow
   Buffer payload;
 };
 
@@ -52,7 +53,8 @@ class DpdkPort {
 
   /// Sends a message (chunked at the DPDK burst/frame size) to the peer
   /// port on `dst`. Fails if the port is not running or the NIC lacks DPDK.
-  Status send(fabric::HostId dst, Buffer message);
+  /// `tenant` classifies the frames for the NIC's per-tenant scheduler.
+  Status send(fabric::HostId dst, Buffer message, std::uint32_t tenant = 0);
 
   void set_on_message(MessageFn cb) { on_message_ = std::move(cb); }
 
@@ -79,7 +81,12 @@ class DpdkPort {
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t delivered_ = 0;
   bool tx_active_ = false;
-  std::deque<std::pair<fabric::HostId, Buffer>> tx_queue_;
+  struct TxMessage {
+    fabric::HostId dst = fabric::k_invalid_host;
+    Buffer data;
+    std::uint32_t tenant = 0;
+  };
+  std::deque<TxMessage> tx_queue_;
   MessageFn on_message_;
   std::function<void()> on_tx_space_;
 
@@ -91,7 +98,7 @@ class DpdkPort {
 
   void pump_tx();
   void stream_frames(const std::shared_ptr<Buffer>& msg, std::uint64_t msg_id,
-                     fabric::HostId dst, std::uint32_t offset);
+                     fabric::HostId dst, std::uint32_t tenant, std::uint32_t offset);
 
   static constexpr std::uint32_t k_frame_payload = 4096;  // burst unit
   static constexpr std::uint32_t k_frame_header = 42;

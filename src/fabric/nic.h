@@ -4,7 +4,9 @@
 #pragma once
 
 #include <array>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -38,6 +40,18 @@ struct NicHealth {
   [[nodiscard]] bool healthy() const noexcept {
     return link_up && rdma_up && dpdk_up && rate_fraction >= 1.0;
   }
+};
+
+/// Per-tenant transmit QoS. The NIC schedules its tx link with weighted
+/// deficit round-robin across tenants: each round a tenant's deficit grows
+/// by `weight` quanta, so long-run bandwidth shares converge to the weight
+/// ratio while any single tenant still gets the full line rate when alone
+/// (work conservation). `rate_bps`, when non-zero, additionally caps the
+/// tenant with a token bucket — its packets wait for tokens even when the
+/// link is idle.
+struct TenantQos {
+  std::uint32_t weight = 1;
+  double rate_bps = 0.0;  ///< 0 = uncapped
 };
 
 class Nic {
@@ -82,7 +96,19 @@ class Nic {
 
   /// Serializes and hands the packet to the switch (or loops back if the
   /// destination is this host — e.g. an RDMA hairpin through the NIC).
+  /// Packets enter per-tenant queues (keyed by `packet->tenant`) and a
+  /// weighted deficit-round-robin scheduler feeds the tx link one packet at
+  /// a time, so a saturating tenant cannot starve the others.
   void send(PacketPtr packet);
+
+  /// Configures (or reconfigures) one tenant's scheduling weight and
+  /// optional rate cap. Unconfigured tenants default to weight 1, uncapped.
+  void set_tenant_qos(std::uint32_t tenant, TenantQos qos);
+
+  /// Bytes this NIC transmitted for `tenant` (0 if never seen).
+  [[nodiscard]] std::uint64_t tenant_tx_bytes(std::uint32_t tenant) const noexcept;
+  /// Packets currently queued for `tenant` awaiting the scheduler.
+  [[nodiscard]] std::size_t tenant_queue_depth(std::uint32_t tenant) const noexcept;
 
   /// Registers the receive handler for one packet kind.
   void set_rx_handler(PacketKind kind, std::function<void(PacketPtr)> handler);
@@ -101,9 +127,36 @@ class Nic {
   void set_telemetry(telemetry::Telemetry* hub);
 
  private:
+  /// DRR quantum per unit of weight, in bytes. Small enough that a weight-8
+  /// tenant interleaves with a weight-1 tenant every few packets; deficits
+  /// accumulate across rounds, so packets larger than one quantum still go
+  /// out once the deficit catches up.
+  static constexpr double k_drr_quantum_bytes = 16.0 * 1024;
+
+  struct TenantQueue {
+    std::deque<PacketPtr> q;
+    TenantQos qos;
+    double deficit = 0.0;  ///< bytes this tenant may send before rotating
+    bool active = false;   ///< member of active_
+    bool charged = false;  ///< deficit already grew this rotation
+    double tokens = 0.0;   ///< rate-cap token bucket, in bytes
+    SimTime tokens_at = 0;
+    std::uint64_t tx_bytes = 0;
+    telemetry::Counter* ctr_tx_bytes = telemetry::Counter::discard();
+    telemetry::Gauge* g_queue_depth = telemetry::Gauge::discard();
+    telemetry::Gauge* g_deficit = telemetry::Gauge::discard();
+  };
+
   sim::EventLoop& loop_;
   const sim::CostModel& model_;
   void drop(PacketKind kind);
+  TenantQueue& tenant_queue(std::uint32_t tenant);
+  void refill_tokens(TenantQueue& tq) noexcept;
+  /// Picks the next packet by WDRR and occupies the tx link with it; no-op
+  /// while a packet is serializing or every queue is empty/rate-blocked
+  /// (blocked queues arm a retry timer at the earliest token-ready time).
+  void dispatch_next();
+  void transmit(PacketPtr packet);
 
   HostId host_;
   NicCapabilities caps_;
@@ -113,6 +166,15 @@ class Nic {
   Switch* tor_ = nullptr;
   std::array<std::function<void(PacketPtr)>, 4> rx_handlers_{};
   std::function<void(PacketKind)> on_drop_;
+
+  /// Keyed by tenant; std::map keeps round-robin admission order (and
+  /// telemetry names) deterministic. Pointers into the map are stable.
+  std::map<std::uint32_t, TenantQueue> tenants_;
+  /// Rotation of tenants with queued packets (WDRR active list).
+  std::deque<TenantQueue*> active_;
+  bool tx_busy_ = false;
+  bool retry_armed_ = false;
+  telemetry::Telemetry* hub_ = nullptr;
 
   std::uint64_t tx_packets_ = 0;
   std::uint64_t rx_packets_ = 0;

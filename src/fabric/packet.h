@@ -47,6 +47,11 @@ struct Packet {
   HostId dst_host = k_invalid_host;
   std::uint32_t wire_bytes = 0;  ///< size serialized on links (incl. headers)
   PacketKind kind = PacketKind::control;
+  /// Traffic class for per-tenant NIC scheduling. 0 is the infrastructure
+  /// class (control, heartbeats, unclassifiable byte streams); data paths
+  /// stamp the owning container's tenant so the WDRR scheduler can keep one
+  /// tenant's bulk traffic from starving another's.
+  std::uint32_t tenant = 0;
   std::shared_ptr<PacketBody> body;
 };
 

@@ -55,12 +55,22 @@ void FaultInjector::apply(const FaultEvent& event) {
     case FaultKind::dpdk_up:
       h.nic().set_dpdk_up(true);
       break;
-    case FaultKind::nic_degrade:
-      h.nic().set_rate_fraction(event.fraction);
+    case FaultKind::nic_degrade: {
+      auto& active = degrades_[event.host];
+      active.insert(event.fraction);
+      h.nic().set_rate_fraction(*active.begin());
       break;
-    case FaultKind::nic_restore:
-      h.nic().set_rate_fraction(1.0);
+    }
+    case FaultKind::nic_restore: {
+      auto& active = degrades_[event.host];
+      // Retire exactly this restore's degrade; a legacy restore whose
+      // fraction matches nothing retires the most severe one instead.
+      auto it = active.find(event.fraction);
+      if (it == active.end() && !active.empty()) it = active.begin();
+      if (it != active.end()) active.erase(it);
+      h.nic().set_rate_fraction(active.empty() ? 1.0 : *active.begin());
       break;
+    }
     case FaultKind::host_crash:
       crash_host(event.host);
       break;

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <string>
+#include <unordered_map>
 
 #include "agent/agent.h"
 #include "faults/fault_plan.h"
@@ -53,6 +55,10 @@ class FaultInjector {
 
   orch::NetworkOrchestrator& orchestrator_;
   agent::AgentFabric& agents_;
+  /// Active degrade fractions per host. A degrade inserts its fraction and
+  /// the NIC runs at the minimum (most severe wins); a restore erases only
+  /// its own fraction, so overlapping degrade windows heal independently.
+  std::unordered_map<fabric::HostId, std::multiset<double>> degrades_;
   std::string trace_;
   std::size_t applied_ = 0;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

@@ -34,8 +34,11 @@ FaultPlan& FaultPlan::dpdk_outage(fabric::HostId host, SimTime at,
 
 FaultPlan& FaultPlan::degrade(fabric::HostId host, SimTime at, double fraction,
                               SimDuration slow_for) {
+  // The restore carries the same fraction so the injector can retire exactly
+  // this degrade's contribution — overlapping degrades on one host each heal
+  // independently instead of the last restore clobbering the rest.
   add({at, FaultKind::nic_degrade, host, fraction});
-  add({at + slow_for, FaultKind::nic_restore, host});
+  add({at + slow_for, FaultKind::nic_restore, host, fraction});
   return *this;
 }
 

@@ -54,7 +54,8 @@ struct FaultEvent {
   SimTime at = 0;  ///< absolute simulation time
   FaultKind kind = FaultKind::nic_link_down;
   fabric::HostId host = 0;
-  double fraction = 1.0;  ///< nic_degrade only: remaining line-rate fraction
+  double fraction = 1.0;  ///< nic_degrade/nic_restore: the degrade's line-rate
+                          ///< fraction (the restore names which degrade heals)
   fabric::HostId peer = 0;  ///< path_partition/path_heal only: the far host
 };
 

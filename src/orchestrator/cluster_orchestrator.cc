@@ -115,4 +115,14 @@ std::vector<ContainerPtr> ClusterOrchestrator::containers_on(fabric::HostId host
   return out;
 }
 
+std::vector<ContainerPtr> ClusterOrchestrator::containers_of_tenant(TenantId tenant) const {
+  std::vector<ContainerPtr> out;
+  for (const auto& [id, c] : containers_) {
+    if (c->tenant() == tenant && c->state() == ContainerState::running) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ContainerPtr& a, const ContainerPtr& b) { return a->id() < b->id(); });
+  return out;
+}
+
 }  // namespace freeflow::orch

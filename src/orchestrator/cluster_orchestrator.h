@@ -46,6 +46,9 @@ class ClusterOrchestrator {
   [[nodiscard]] ContainerPtr container_by_ip(tcp::Ipv4Addr ip) const;
   [[nodiscard]] std::size_t running_count() const noexcept;
   [[nodiscard]] std::vector<ContainerPtr> containers_on(fabric::HostId host) const;
+  /// Running containers of one tenant, sorted by id (deterministic order for
+  /// tenant-scoped cache flushes).
+  [[nodiscard]] std::vector<ContainerPtr> containers_of_tenant(TenantId tenant) const;
 
   void on_started(EventFn fn) { started_.push_back(std::move(fn)); }
   void on_moved(EventFn fn) { moved_.push_back(std::move(fn)); }

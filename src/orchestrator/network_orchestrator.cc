@@ -34,11 +34,20 @@ NetworkOrchestrator::NetworkOrchestrator(ClusterOrchestrator& cluster_orch)
 }
 
 void NetworkOrchestrator::set_tenant_trust(TenantId a, TenantId b, bool is_trusted) {
-  if (is_trusted) {
-    tenant_trust_.insert(trust_key(a, b));
-  } else {
-    tenant_trust_.erase(trust_key(a, b));
-  }
+  // Only actual transitions notify: a redundant grant or revoke changes no
+  // decision, so it must not trigger a fleet-wide cache flush.
+  const bool changed = is_trusted ? tenant_trust_.insert(trust_key(a, b)).second
+                                  : tenant_trust_.erase(trust_key(a, b)) > 0;
+  if (!changed) return;
+  FF_LOG(info, "orch") << "tenant trust " << a << " <-> " << b
+                       << (is_trusted ? " granted" : " revoked");
+  // Snapshot-by-size like notify_health: a subscriber may subscribe more.
+  const std::size_t n = trust_subscribers_.size();
+  for (std::size_t i = 0; i < n; ++i) trust_subscribers_[i](a, b, is_trusted);
+}
+
+void NetworkOrchestrator::subscribe_trust_changes(TrustFn fn) {
+  trust_subscribers_.push_back(std::move(fn));
 }
 
 bool NetworkOrchestrator::trusted(const Container& a, const Container& b) const {

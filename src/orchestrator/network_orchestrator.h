@@ -48,6 +48,9 @@ class NetworkOrchestrator {
       std::function<void(fabric::HostId reporter, fabric::HostId peer, Transport)>;
   /// Inter-host path state change: (a, b, up). Both NICs may be healthy.
   using PathFn = std::function<void(fabric::HostId, fabric::HostId, bool)>;
+  /// Trust transition between two tenants: (a, b, now_trusted). Fired only
+  /// on actual grant/revoke transitions, not redundant set_tenant_trust calls.
+  using TrustFn = std::function<void(TenantId, TenantId, bool)>;
 
   explicit NetworkOrchestrator(ClusterOrchestrator& cluster_orch);
 
@@ -59,6 +62,12 @@ class NetworkOrchestrator {
   /// cross-tenant trust can be granted (e.g. a shared data-plane service).
   void set_tenant_trust(TenantId a, TenantId b, bool trusted);
   [[nodiscard]] bool trusted(const Container& a, const Container& b) const;
+
+  /// Fired on every effective trust grant/revoke — the invalidation source
+  /// that lets decision caches drop entries the trust change falsified (a
+  /// revoked pair must fall back to the isolated overlay immediately, not
+  /// when a cached shm/rdma decision happens to age out).
+  void subscribe_trust_changes(TrustFn fn);
 
   /// Globally disable isolation-trading (forces tcp_overlay everywhere).
   void set_allow_isolation_trade(bool allow) noexcept { allow_trade_ = allow; }
@@ -143,6 +152,7 @@ class NetworkOrchestrator {
   ClusterOrchestrator& cluster_;
   bool allow_trade_ = true;
   std::unordered_set<std::uint64_t> tenant_trust_;
+  std::vector<TrustFn> trust_subscribers_;
   std::vector<LocationFn> move_subscribers_;
   std::vector<HealthFn> health_subscribers_;
   std::vector<HealthDiffFn> health_diff_subscribers_;

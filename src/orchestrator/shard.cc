@@ -36,6 +36,26 @@ ShardedControlPlane::ShardedControlPlane(NetworkOrchestrator& orchestrator, int 
     flush_host(reporter, transport_bit(t));
     if (peer != reporter) flush_host(peer, transport_bit(t));
   });
+  orch_.subscribe_trust_changes([this, alive](TenantId a, TenantId b, bool now_trusted) {
+    if (alive.expired()) return;
+    // A revoke falsifies every cached non-overlay decision touching either
+    // tenant (the pair must drop to the isolated overlay NOW); a grant only
+    // falsifies the overlay decisions that can upgrade. Flushing both
+    // tenants' containers over-covers same-tenant pairs, but those re-decide
+    // to the same answer — correctness needs the cross-tenant entries gone.
+    const std::uint8_t mask = now_trusted
+                                  ? transport_bit(Transport::tcp_overlay)
+                                  : static_cast<std::uint8_t>(
+                                        k_drop_all & ~transport_bit(Transport::tcp_overlay));
+    for (const auto& c : orch_.cluster_orch().containers_of_tenant(a)) {
+      bump_and_flush(c->id(), mask);
+    }
+    if (b != a) {
+      for (const auto& c : orch_.cluster_orch().containers_of_tenant(b)) {
+        bump_and_flush(c->id(), mask);
+      }
+    }
+  });
   orch_.subscribe_moves([this, alive](const Container& moved) {
     if (alive.expired()) return;
     // A move changes the host underneath every decision: drop everything.

@@ -55,6 +55,7 @@ void RdmaDevice::transmit(fabric::HostId dst_host, std::shared_ptr<RdmaChunk> ch
   packet->dst_host = dst_host;
   packet->wire_bytes = wire_bytes(*chunk);
   packet->kind = fabric::PacketKind::rdma_chunk;
+  packet->tenant = chunk->tenant;
   packet->body = std::move(chunk);
   host_.nic().send(std::move(packet));
 }
@@ -121,6 +122,7 @@ void RdmaDevice::handle_read_request(const std::shared_ptr<RdmaChunk>& request,
     nak->msg_id = request->msg_id;
     nak->wr_id = request->wr_id;
     nak->status = WcStatus::remote_access_error;
+    nak->tenant = request->tenant;
     transmit(requester, nak);
     return;
   }
@@ -138,6 +140,7 @@ void RdmaDevice::handle_read_request(const std::shared_ptr<RdmaChunk>& request,
     chunk->wr_id = request->wr_id;
     chunk->total_len = 0;
     chunk->last = true;
+    chunk->tenant = request->tenant;
     nic_proc().submit(m.nic_pkt_fixed_ns,
                       [this, chunk, requester]() { transmit(requester, chunk); });
     return;
@@ -168,6 +171,7 @@ void RdmaDevice::stream_read_chunk(const std::shared_ptr<RdmaChunk>& request,
   chunk->total_len = total;
   chunk->chunk_offset = offset;
   chunk->last = offset + n >= total;
+  chunk->tenant = request->tenant;
   chunk->payload = Buffer(mr->data().data() + request->remote.offset + offset, n);
 
   const double bus = m.nic_dma_bus_bytes_factor * static_cast<double>(n);

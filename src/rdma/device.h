@@ -35,6 +35,8 @@ struct RdmaChunk final : fabric::PacketBody {
   Buffer payload;              ///< data chunks
   RemoteBuffer remote;         ///< write/read target
   std::uint32_t read_len = 0;  ///< read_request only
+  /// NIC scheduling class; responses and acks echo the request's.
+  std::uint32_t tenant = 0;
 };
 
 /// Acquires a fresh RdmaChunk from the process-wide slab pool.

@@ -83,6 +83,7 @@ void QueuePair::emit_read_request(const SendWr& wr, std::uint64_t msg_id) {
   req->wr_id = wr.wr_id;
   req->remote = wr.remote;
   req->read_len = static_cast<std::uint32_t>(wr.local.length);
+  req->tenant = wr.tenant != 0 ? wr.tenant : attr_.tenant;
 
   const auto& m = device_.host().cost_model();
   auto self = shared_from_this();
@@ -120,6 +121,7 @@ void QueuePair::stream_chunk(std::uint64_t msg_id, std::uint32_t offset) {
   chunk->total_len = total;
   chunk->chunk_offset = offset;
   chunk->last = offset + n >= total;
+  chunk->tenant = wr.tenant != 0 ? wr.tenant : attr_.tenant;
   if (n > 0) {
     chunk->payload = Buffer(wr.local.mr->data().data() + wr.local.offset + offset, n);
   }
@@ -263,6 +265,7 @@ void QueuePair::send_ack(const std::shared_ptr<RdmaChunk>& chunk, WcStatus statu
   ack->msg_id = chunk->msg_id;
   ack->wr_id = chunk->wr_id;
   ack->status = status;
+  ack->tenant = chunk->tenant;
   device_.transmit(remote_host_, ack);
 }
 

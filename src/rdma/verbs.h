@@ -114,6 +114,8 @@ struct SendWr {
   LocalBuffer local;
   RemoteBuffer remote;  ///< write/read only
   bool signaled = true;
+  /// Traffic class stamped on the emitted chunks (0 = inherit QpAttr's).
+  std::uint32_t tenant = 0;
 };
 
 struct RecvWr {
@@ -124,6 +126,9 @@ struct RecvWr {
 struct QpAttr {
   std::uint32_t max_send_wr = 256;
   std::uint32_t max_recv_wr = 256;
+  /// Default traffic class for every WR posted on the QP (per-stream RC QPs
+  /// belong to exactly one container, so one class per QP fits them).
+  std::uint32_t tenant = 0;
 };
 
 }  // namespace freeflow::rdma

@@ -4,12 +4,20 @@ namespace freeflow::shm {
 
 Result<std::shared_ptr<Region>> RegionRegistry::create(TenantId owner, std::size_t size) {
   if (size == 0) return invalid_argument("shm region size must be > 0");
-  if (bytes_in_use_ + size > capacity_) {
+  if (acct_->live_bytes + size > capacity_) {
     return resource_exhausted("host shm capacity exceeded");
   }
-  auto region = std::make_shared<Region>(next_id_++, owner, size);
+  // The budget charge rides the control block, not the registry entry: the
+  // deleter releases the bytes when the LAST holder (registry or outstanding
+  // attachment) lets go, so destroy-with-attachments cannot under-count.
+  auto acct = acct_;
+  std::shared_ptr<Region> region(new Region(next_id_++, owner, size),
+                                 [acct](Region* r) {
+                                   acct->live_bytes -= r->size();
+                                   delete r;
+                                 });
   regions_.emplace(region->id(), region);
-  bytes_in_use_ += size;
+  acct_->live_bytes += size;
   return region;
 }
 
@@ -17,16 +25,17 @@ Result<std::shared_ptr<Region>> RegionRegistry::attach(RegionId id, TenantId ten
   auto it = regions_.find(id);
   if (it == regions_.end()) return not_found("no shm region " + std::to_string(id));
   if (!it->second->allows(tenant)) {
+    ++denied_attaches_;
     return permission_denied("tenant " + std::to_string(tenant) +
                              " may not attach region " + std::to_string(id));
   }
+  if (tenant != it->second->owner()) ++foreign_attaches_;
   return it->second;
 }
 
 Status RegionRegistry::destroy(RegionId id) {
   auto it = regions_.find(id);
   if (it == regions_.end()) return not_found("no shm region " + std::to_string(id));
-  bytes_in_use_ -= it->second->size();
   regions_.erase(it);
   return ok_status();
 }

@@ -51,18 +51,37 @@ class RegionRegistry {
   /// Attaches an existing region; permission-checked against the tenant.
   Result<std::shared_ptr<Region>> attach(RegionId id, TenantId tenant);
 
-  /// Removes a region; outstanding shared_ptr holders keep it alive.
+  /// Removes a region from the registry; outstanding shared_ptr holders
+  /// keep it (and its budget charge) alive until the last one releases.
   Status destroy(RegionId id);
 
   [[nodiscard]] std::size_t region_count() const noexcept { return regions_.size(); }
-  [[nodiscard]] std::size_t bytes_in_use() const noexcept { return bytes_in_use_; }
+  /// Bytes actually pinned in host shm: charged at create, released when
+  /// the LAST holder drops the region — destroy() with attachments still
+  /// outstanding does not free anything (the segment is merely unlinked,
+  /// exactly like shm_unlink with live mmaps).
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept { return acct_->live_bytes; }
 
   void set_capacity(std::size_t bytes) noexcept { capacity_ = bytes; }
 
+  /// Attach attempts rejected by the tenant allow-list (isolation audit).
+  [[nodiscard]] std::uint64_t denied_attaches() const noexcept { return denied_attaches_; }
+  /// Successful attaches by a tenant other than the owner — each one was
+  /// explicitly granted via Region::allow; anything else is denied.
+  [[nodiscard]] std::uint64_t foreign_attaches() const noexcept { return foreign_attaches_; }
+
  private:
+  /// Live-byte tally shared with every region's deleter, so a registry that
+  /// dies before the last region release never dangles.
+  struct Accounting {
+    std::size_t live_bytes = 0;
+  };
+
   RegionId next_id_ = 1;
   std::size_t capacity_ = 1ULL << 34;  // 16 GiB of host shm by default
-  std::size_t bytes_in_use_ = 0;
+  std::shared_ptr<Accounting> acct_ = std::make_shared<Accounting>();
+  std::uint64_t denied_attaches_ = 0;
+  std::uint64_t foreign_attaches_ = 0;
   std::unordered_map<RegionId, std::shared_ptr<Region>> regions_;
 };
 

@@ -8,7 +8,7 @@
 namespace freeflow::stream {
 
 RcStreamChannel::RcStreamChannel(rdma::RdmaDevice& device, sim::UsageAccount* account,
-                                 orch::ContainerId peer)
+                                 orch::ContainerId peer, std::uint32_t tenant)
     : device_(device), account_(account), peer_(peer) {
   send_mr_ = device_.reg_mr(k_slot_bytes * k_slots);
   recv_mr_ = device_.reg_mr(k_slot_bytes * (k_slots + k_credit_reserve));
@@ -17,6 +17,7 @@ RcStreamChannel::RcStreamChannel(rdma::RdmaDevice& device, sim::UsageAccount* ac
   rdma::QpAttr attr;
   attr.max_send_wr = k_slots * 2;
   attr.max_recv_wr = (k_slots + k_credit_reserve) * 2;
+  attr.tenant = tenant;
   qp_ = device_.create_qp(send_cq_, recv_cq_, attr);
   free_slots_.reserve(k_slots);
   for (std::uint32_t s = 0; s < k_slots; ++s) free_slots_.push_back(s);

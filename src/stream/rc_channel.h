@@ -36,8 +36,10 @@ class RcStreamChannel final : public agent::Channel,
   /// Deliveries per returned credit batch.
   static constexpr std::uint32_t k_credit_batch = 4;
 
+  /// `tenant` classifies the QP's traffic for the NIC's per-tenant
+  /// scheduler (per-stream QPs belong to exactly one container).
   RcStreamChannel(rdma::RdmaDevice& device, sim::UsageAccount* account,
-                  orch::ContainerId peer);
+                  orch::ContainerId peer, std::uint32_t tenant = 0);
   ~RcStreamChannel() override;
 
   /// Posts receive buffers and hooks completion notifies (weakly — the QP

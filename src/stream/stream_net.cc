@@ -404,7 +404,8 @@ void StreamNet::start_upgrade(const core::ConduitPtr& conduit) {
   if (pending_upgrade_.contains(token)) return;
   auto& agent = ff().agents().agent_on(net_->container()->host());
   auto channel = std::make_shared<RcStreamChannel>(
-      agent.rdma_device(), &net_->container()->account(), conduit->peer());
+      agent.rdma_device(), &net_->container()->account(), conduit->peer(),
+      net_->container()->tenant());
   channel->start();
   pending_upgrade_.emplace(token, channel);
   core::WireHeader h;
@@ -424,7 +425,8 @@ void StreamNet::handle_control(const core::ConduitPtr& conduit,
       // answer. The initiator switches first; we splice on its rc_switch.
       auto& agent = ff().agents().agent_on(net_->container()->host());
       auto channel = std::make_shared<RcStreamChannel>(
-          agent.rdma_device(), &net_->container()->account(), conduit->peer());
+          agent.rdma_device(), &net_->container()->account(), conduit->peer(),
+          net_->container()->tenant());
       channel->start();
       const Status connected =
           channel->connect(static_cast<fabric::HostId>(h.offset),

@@ -178,5 +178,81 @@ TEST(Switch, IncastQueuesOnOutputPort) {
   EXPECT_GT(gbps, 35.0);
 }
 
+PacketPtr make_tenant_packet(HostId dst, std::uint32_t bytes, std::uint32_t tenant) {
+  auto p = make_test_packet(dst, bytes, PacketKind::control);
+  p->tenant = tenant;
+  return p;
+}
+
+TEST(WdrrTenantQos, WeightedShareConvergesToRatio) {
+  // Two tenants saturate one tx link with an 8:1 weight split; the byte
+  // split observed mid-drain must converge to the weights within +/-10%.
+  Cluster cluster;
+  cluster.add_hosts(2);
+  cluster.host(1).nic().set_rx_handler(PacketKind::control, [](PacketPtr) {});
+  cluster.host(0).nic().set_tenant_qos(1, TenantQos{.weight = 8});
+  cluster.host(0).nic().set_tenant_qos(2, TenantQos{.weight = 1});
+  const std::uint32_t sz = 64 * 1024;
+  for (int i = 0; i < 400; ++i) {
+    cluster.host(0).nic().send(make_tenant_packet(1, sz, 1));
+    cluster.host(0).nic().send(make_tenant_packet(1, sz, 2));
+  }
+  // Half the drain time: both queues are still backlogged at the deadline,
+  // so the split reflects scheduling, not work conservation.
+  cluster.loop().run_for(5 * k_millisecond);
+  const auto t1 = cluster.host(0).nic().tenant_tx_bytes(1);
+  const auto t2 = cluster.host(0).nic().tenant_tx_bytes(2);
+  ASSERT_GT(t2, 0u);  // the weight-1 tenant must not be starved
+  const double ratio = static_cast<double>(t1) / static_cast<double>(t2);
+  EXPECT_GE(ratio, 8.0 * 0.9);
+  EXPECT_LE(ratio, 8.0 * 1.1);
+  EXPECT_GT(cluster.host(0).nic().tenant_queue_depth(1), 0u);
+  EXPECT_GT(cluster.host(0).nic().tenant_queue_depth(2), 0u);
+}
+
+TEST(WdrrTenantQos, Weight1NotStarvedUnderWeight8Saturation) {
+  // A single weight-1 packet enqueued behind a saturating weight-8 burst
+  // must be transmitted after at most a few quanta of the heavy tenant,
+  // not after the whole burst drains.
+  Cluster cluster;
+  cluster.add_hosts(2);
+  SimTime lone_arrival = -1;
+  cluster.host(1).nic().set_rx_handler(PacketKind::control, [&](PacketPtr p) {
+    if (p->tenant == 2) lone_arrival = cluster.loop().now();
+  });
+  cluster.host(0).nic().set_tenant_qos(1, TenantQos{.weight = 8});
+  cluster.host(0).nic().set_tenant_qos(2, TenantQos{.weight = 1});
+  const std::uint32_t sz = 64 * 1024;
+  for (int i = 0; i < 200; ++i) {
+    cluster.host(0).nic().send(make_tenant_packet(1, sz, 1));
+  }
+  cluster.host(0).nic().send(make_tenant_packet(1, sz, 2));
+  cluster.loop().run();
+  // Full drain takes ~2.6 ms at 40 Gb/s; WDRR interleaving must deliver
+  // the lone packet within the first ~1 MiB of heavy traffic (~0.25 ms).
+  ASSERT_GE(lone_arrival, 0);
+  EXPECT_LT(lone_arrival, 1 * k_millisecond);
+}
+
+TEST(WdrrTenantQos, RateCapThrottlesTenantOnIdleLink) {
+  // A 5 Gb/s token-bucket cap must bound the tenant even though the
+  // 40 Gb/s link is otherwise idle (the cap is not work-conserving).
+  Cluster cluster;
+  cluster.add_hosts(2);
+  std::uint64_t bytes_rx = 0;
+  cluster.host(1).nic().set_rx_handler(
+      PacketKind::control, [&](PacketPtr p) { bytes_rx += p->wire_bytes; });
+  cluster.host(0).nic().set_tenant_qos(3, TenantQos{.weight = 4, .rate_bps = 5e9});
+  const std::uint32_t sz = 64 * 1024;
+  for (int i = 0; i < 100; ++i) {
+    cluster.host(0).nic().send(make_tenant_packet(1, sz, 3));
+  }
+  cluster.loop().run();
+  EXPECT_EQ(bytes_rx, 100ull * sz);
+  const double gbps = throughput_gbps(bytes_rx, cluster.loop().now());
+  EXPECT_LE(gbps, 5.5);
+  EXPECT_GT(gbps, 4.0);
+}
+
 }  // namespace
 }  // namespace freeflow::fabric

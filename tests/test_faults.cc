@@ -229,6 +229,32 @@ TEST(FaultMatrix, DegradedNicStillCompletes) {
   EXPECT_EQ(transport_of(p.net_a), orch::Transport::rdma);
 }
 
+// Regression: two degrade windows overlapping on one host used to clobber
+// each other — the first restore snapped the NIC back to full rate while
+// the longer degrade was still in force. Each restore must heal only its
+// own degrade; the NIC runs at the most severe fraction still active.
+TEST(FaultMatrix, OverlappingDegradesComposeAndHealIndependently) {
+  Env env(2);
+  env.freeflow();
+  FaultInjector injector(*env.net_orch, env.freeflow().agents());
+  FaultPlan plan;
+  plan.degrade(1, 1 * k_millisecond, 0.5, 10 * k_millisecond);   // heals at 11 ms
+  plan.degrade(1, 2 * k_millisecond, 0.25, 4 * k_millisecond);   // heals at 6 ms
+  injector.arm(plan);
+
+  const auto& nic = env.cluster.host(1).nic();
+  env.loop().run_until(1500 * k_microsecond);
+  EXPECT_DOUBLE_EQ(nic.health().rate_fraction, 0.5);
+  env.loop().run_until(3 * k_millisecond);
+  EXPECT_DOUBLE_EQ(nic.health().rate_fraction, 0.25);  // most severe wins
+  env.loop().run_until(8 * k_millisecond);
+  // The short degrade healed, the long one is still active: 0.5, not 1.0.
+  EXPECT_DOUBLE_EQ(nic.health().rate_fraction, 0.5);
+  env.loop().run_until(15 * k_millisecond);
+  EXPECT_DOUBLE_EQ(nic.health().rate_fraction, 1.0);
+  EXPECT_EQ(injector.faults_applied(), 4u);
+}
+
 // An agent pause buffers the relay in both directions; resume replays the
 // buffers in order, so the stream completes untouched.
 TEST(FaultMatrix, AgentPauseBuffersAndResumes) {

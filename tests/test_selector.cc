@@ -54,6 +54,40 @@ TEST(Selector, PreciseInvalidationDropsOnlyAffectedPairs) {
   EXPECT_EQ(sel.cache_hits(), hits_before + 1);
 }
 
+// Trust is an orchestrator-level event that can change any cached decision
+// for the two tenants involved. Regression: revoking trust never reached
+// the shards, so warmed selectors kept handing out shm/rdma decisions to
+// pairs that no longer trust each other — an isolation hole, not a perf bug.
+TEST(Selector, TenantTrustRevocationFlushesCachedDecisions) {
+  Env env(2);
+  auto a = env.deploy("a", 1, 0);
+  auto b = env.deploy("b", 2, 0);
+  auto& sel = env.freeflow().selector();
+
+  // Untrusted cross-tenant pair: only the overlay is permitted; cached.
+  ASSERT_EQ(decide_now(env, sel, a->id(), b->id())->transport,
+            orch::Transport::tcp_overlay);
+
+  // Granting trust must flush the cached overlay answer so the co-located
+  // pair upgrades to shm on the next decide.
+  env.net_orch->set_tenant_trust(1, 2, true);
+  ASSERT_EQ(decide_now(env, sel, a->id(), b->id())->transport,
+            orch::Transport::shm);
+
+  // Revoking trust must drop the cached shm decision the same way.
+  env.net_orch->set_tenant_trust(1, 2, false);
+  EXPECT_EQ(decide_now(env, sel, a->id(), b->id())->transport,
+            orch::Transport::tcp_overlay);
+  EXPECT_EQ(sel.stale_served(), 0u);
+
+  // No-op transitions (revoking absent trust, double-granting) must not
+  // thrash the cache with redundant flushes.
+  const auto inv_before = sel.invalidations();
+  env.net_orch->set_tenant_trust(1, 2, false);
+  env.net_orch->set_tenant_trust(3, 4, false);
+  EXPECT_EQ(sel.invalidations(), inv_before);
+}
+
 TEST(Selector, LruEvictionKeepsCacheBounded) {
   agent::AgentConfig config;
   config.selector_cache_capacity = 2;

@@ -162,6 +162,60 @@ TEST(RegionRegistry, EnforcesTenantIsolation) {
   EXPECT_EQ(still_denied.status().code(), Errc::permission_denied);
 }
 
+TEST(RegionAccounting, DestroyWithLiveAttachmentsKeepsBudgetCharged) {
+  // Regression: destroy() used to release the budget immediately even with
+  // attachments outstanding, so the registry over-admitted new regions
+  // against memory that was still pinned (shm_unlink does not free live
+  // mmaps). The charge must persist until the LAST holder releases.
+  RegionRegistry reg;
+  reg.set_capacity(1000);
+  auto r = reg.create(1, 600);
+  ASSERT_TRUE(r.is_ok());
+  auto held = reg.attach((*r)->id(), 1);
+  ASSERT_TRUE(held.is_ok());
+
+  ASSERT_TRUE(reg.destroy((*r)->id()).is_ok());
+  EXPECT_EQ(reg.region_count(), 0u);          // unlinked from the namespace
+  EXPECT_EQ(reg.bytes_in_use(), 600u);        // ...but still pinned
+  EXPECT_EQ(reg.create(1, 600).status().code(), Errc::resource_exhausted);
+
+  (*r).reset();
+  (*held).reset();  // last holder gone -> budget released
+  EXPECT_EQ(reg.bytes_in_use(), 0u);
+  EXPECT_TRUE(reg.create(1, 600).is_ok());
+}
+
+TEST(RegionTenantIsolation, CrossTenantAttachMatrixDeniedAndAudited) {
+  // Full 3-tenant matrix: every cross-tenant attach is denied (and counted)
+  // unless explicitly granted; grants are pairwise, not transitive.
+  RegionRegistry reg;
+  std::vector<std::shared_ptr<Region>> owned;
+  for (TenantId t = 1; t <= 3; ++t) {
+    auto r = reg.create(t, 1024);
+    ASSERT_TRUE(r.is_ok());
+    owned.push_back(*r);
+  }
+  for (TenantId t = 1; t <= 3; ++t) {
+    for (const auto& region : owned) {
+      auto got = reg.attach(region->id(), t);
+      if (region->owner() == t) {
+        EXPECT_TRUE(got.is_ok());
+      } else {
+        EXPECT_EQ(got.status().code(), Errc::permission_denied);
+      }
+    }
+  }
+  EXPECT_EQ(reg.denied_attaches(), 6u);   // 3x3 matrix minus the diagonal
+  EXPECT_EQ(reg.foreign_attaches(), 0u);
+
+  owned[0]->allow(2);  // tenant 1 trusts tenant 2 with this region only
+  EXPECT_TRUE(reg.attach(owned[0]->id(), 2).is_ok());
+  EXPECT_EQ(reg.attach(owned[0]->id(), 3).status().code(), Errc::permission_denied);
+  EXPECT_EQ(reg.attach(owned[1]->id(), 1).status().code(), Errc::permission_denied);
+  EXPECT_EQ(reg.foreign_attaches(), 1u);  // exactly the granted one
+  EXPECT_EQ(reg.denied_attaches(), 8u);
+}
+
 TEST(RegionRegistry, CapacityLimit) {
   RegionRegistry reg;
   reg.set_capacity(1000);
